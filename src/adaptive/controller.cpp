@@ -1,0 +1,91 @@
+#include "adaptive/controller.h"
+
+#include "sim/energy.h"
+#include "util/error.h"
+
+namespace actg::adaptive {
+
+AdaptiveController::AdaptiveController(
+    const ctg::Ctg& graph, const ctg::ActivationAnalysis& analysis,
+    const arch::Platform& platform, ctg::BranchProbabilities initial_probs,
+    AdaptiveOptions options)
+    : graph_(&graph),
+      analysis_(&analysis),
+      platform_(&platform),
+      options_(options),
+      in_use_(std::move(initial_probs)),
+      profiler_(graph, options.window),
+      schedule_(Reschedule()) {
+  ACTG_CHECK(options_.threshold > 0.0 && options_.threshold <= 1.0,
+             "Adaptation threshold must lie in (0, 1]");
+}
+
+sched::Schedule AdaptiveController::Reschedule() const {
+  sched::Schedule schedule =
+      sched::RunDls(*graph_, *analysis_, *platform_, in_use_, options_.dls);
+  dvfs::StretchOnline(schedule, in_use_, options_.stretch);
+  return schedule;
+}
+
+sim::InstanceResult AdaptiveController::ProcessInstance(
+    const ctg::BranchAssignment& assignment) {
+  // Execute with the schedule in effect; decisions become observable
+  // only as the instance runs, so adaptation applies from the next
+  // instance on.
+  const sim::InstanceResult result =
+      sim::ExecuteInstance(schedule_, assignment);
+
+  profiler_.ObserveInstance(*analysis_, assignment);
+
+  // Threshold detector: any fork whose full window deviates from the
+  // in-use probability by more than the threshold triggers one online
+  // scheduling + DVFS call with the windowed distributions.
+  bool crossed = false;
+  for (TaskId fork : graph_->ForkIds()) {
+    if (!profiler_.Full(fork)) continue;
+    const double distance = profiling::DistributionDistance(
+        profiler_.WindowedDistribution(fork),
+        [&] {
+          std::vector<double> dist(
+              static_cast<std::size_t>(graph_->OutcomeCount(fork)));
+          for (int o = 0; o < graph_->OutcomeCount(fork); ++o) {
+            dist[static_cast<std::size_t>(o)] = in_use_.Outcome(fork, o);
+          }
+          return dist;
+        }());
+    if (distance > options_.threshold) {
+      crossed = true;
+      break;
+    }
+  }
+  if (crossed) {
+    for (TaskId fork : graph_->ForkIds()) {
+      if (profiler_.Full(fork)) {
+        in_use_.Set(fork, profiler_.WindowedDistribution(fork));
+      }
+    }
+    // One online scheduling + DVFS call. The candidate replaces the
+    // running schedule only when it improves the expected energy under
+    // the new distribution estimate: the windowed estimate is noisy
+    // (stddev ~ sqrt(p(1-p)/L)), and blindly adopting every candidate
+    // would let sampling noise undo the adaptation gains.
+    sched::Schedule candidate = Reschedule();
+    ++reschedule_count_;
+    if (sim::ExpectedEnergy(candidate, in_use_) <
+        sim::ExpectedEnergy(schedule_, in_use_)) {
+      schedule_ = std::move(candidate);
+    }
+  }
+  return result;
+}
+
+sim::RunSummary RunAdaptive(AdaptiveController& controller,
+                            const trace::BranchTrace& trace) {
+  sim::RunSummary summary;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    summary.Add(controller.ProcessInstance(trace.At(i)));
+  }
+  return summary;
+}
+
+}  // namespace actg::adaptive

@@ -1,0 +1,99 @@
+/// \file controller.h
+/// The adaptive scheduling and DVFS framework (paper Section III.B).
+///
+/// The controller executes CTG instances against the current schedule,
+/// shifts every observed branch decision into a sliding window, and —
+/// whenever any fork's windowed probability differs from the probability
+/// the current schedule was built with by more than the threshold —
+/// re-runs the online scheduling (modified DLS) and DVFS (online
+/// stretching heuristic) with the new probabilities. "All the tasks will
+/// be executed with their newly evaluated speed until the next threshold
+/// crossing occurs."
+
+#ifndef ACTG_ADAPTIVE_CONTROLLER_H
+#define ACTG_ADAPTIVE_CONTROLLER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/platform.h"
+#include "ctg/activation.h"
+#include "ctg/condition.h"
+#include "dvfs/stretch.h"
+#include "profiling/window.h"
+#include "sched/dls.h"
+#include "sim/executor.h"
+#include "trace/trace.h"
+
+namespace actg::adaptive {
+
+/// Knobs of the adaptive framework.
+struct AdaptiveOptions {
+  /// Sliding window length L (paper: 20 for MPEG/cruise/random CTGs,
+  /// 50 in the Fig. 4 illustration).
+  std::size_t window = 20;
+  /// Threshold on the windowed-vs-in-use probability difference that
+  /// triggers re-scheduling (paper: 0.1 and 0.5).
+  double threshold = 0.1;
+  /// Scheduler configuration (the modified DLS by default).
+  sched::DlsOptions dls;
+  /// Stretcher configuration.
+  dvfs::StretchOptions stretch;
+};
+
+/// Runtime manager owning the current schedule, the profiler and the
+/// in-use branch probabilities. The referenced graph/analysis/platform
+/// must outlive the controller.
+class AdaptiveController {
+ public:
+  AdaptiveController(const ctg::Ctg& graph,
+                     const ctg::ActivationAnalysis& analysis,
+                     const arch::Platform& platform,
+                     ctg::BranchProbabilities initial_probs,
+                     AdaptiveOptions options = {});
+
+  /// Executes one instance with the current schedule, observes the
+  /// branch decisions, and re-schedules if a threshold crossing
+  /// occurred. Returns the instance's execution result.
+  sim::InstanceResult ProcessInstance(
+      const ctg::BranchAssignment& assignment);
+
+  /// Number of online scheduling + DVFS invocations triggered so far
+  /// (the "# of calls" columns of Tables 2, 4 and 5); the initial
+  /// schedule construction is not counted.
+  std::size_t reschedule_count() const { return reschedule_count_; }
+
+  /// The schedule instances currently execute with.
+  const sched::Schedule& current_schedule() const { return schedule_; }
+
+  /// The branch probabilities the current schedule was built with.
+  const ctg::BranchProbabilities& in_use_probabilities() const {
+    return in_use_;
+  }
+
+  /// The profiler state (for figures like Fig. 4).
+  const profiling::SlidingWindowProfiler& profiler() const {
+    return profiler_;
+  }
+
+ private:
+  sched::Schedule Reschedule() const;
+
+  const ctg::Ctg* graph_;
+  const ctg::ActivationAnalysis* analysis_;
+  const arch::Platform* platform_;
+  AdaptiveOptions options_;
+  ctg::BranchProbabilities in_use_;
+  profiling::SlidingWindowProfiler profiler_;
+  sched::Schedule schedule_;
+  std::size_t reschedule_count_ = 0;
+};
+
+/// Runs a whole trace through an adaptive controller and aggregates the
+/// results (the adaptive rows/series of Fig. 5 and Tables 2-5).
+sim::RunSummary RunAdaptive(AdaptiveController& controller,
+                            const trace::BranchTrace& trace);
+
+}  // namespace actg::adaptive
+
+#endif  // ACTG_ADAPTIVE_CONTROLLER_H

@@ -1,0 +1,58 @@
+#include "apps/fig1_example.h"
+
+#include "apps/common.h"
+
+namespace actg::apps {
+
+Fig1Example MakeFig1Example(double deadline_factor) {
+  ctg::CtgBuilder b;
+  const TaskId t1 = b.AddTask("tau1");
+  const TaskId t2 = b.AddTask("tau2");
+  const TaskId t3 = b.AddTask("tau3");
+  const TaskId t4 = b.AddTask("tau4");
+  const TaskId t5 = b.AddTask("tau5");
+  const TaskId t6 = b.AddTask("tau6");
+  const TaskId t7 = b.AddTask("tau7");
+  const TaskId t8 = b.AddOrTask("tau8");
+
+  b.AddEdge(t1, t2, 8.0);
+  b.AddEdge(t1, t3, 4.0);
+  b.AddConditionalEdge(t3, t4, /*outcome=*/0, 6.0);   // a1
+  b.AddConditionalEdge(t3, t5, /*outcome=*/1, 6.0);   // a2
+  b.AddConditionalEdge(t5, t6, /*outcome=*/0, 10.0);  // b1
+  b.AddConditionalEdge(t5, t7, /*outcome=*/1, 10.0);  // b2
+  b.AddEdge(t2, t8, 12.0);
+  b.AddEdge(t4, t8, 5.0);
+  b.SetOutcomeLabels(t3, {"a1", "a2"});
+  b.SetOutcomeLabels(t5, {"b1", "b2"});
+
+  Fig1Example example{
+      std::move(b).Build(),
+      // Placeholder platform; replaced below once the graph exists.
+      [] {
+        arch::PlatformBuilder pb(8, 2, /*bandwidth=*/50.0,
+                                 /*tx_energy=*/0.05);
+        // Representative heterogeneous execution profile (ms / mJ).
+        const double wcet[8][2] = {{10, 12}, {18, 14}, {8, 9},  {20, 16},
+                                   {9, 11},  {16, 20}, {14, 12}, {12, 10}};
+        const double energy[8][2] = {{10, 14}, {20, 15}, {8, 10}, {24, 18},
+                                     {9, 13},  {18, 24}, {15, 13}, {13, 11}};
+        for (int t = 0; t < 8; ++t) {
+          for (int p = 0; p < 2; ++p) {
+            pb.SetTaskCost(TaskId{t}, PeId{p}, wcet[t][p], energy[t][p]);
+          }
+        }
+        pb.SetMinSpeedRatio(PeId{0}, 0.2);
+        pb.SetMinSpeedRatio(PeId{1}, 0.2);
+        return std::move(pb).Build();
+      }(),
+      ctg::BranchProbabilities(8)};
+
+  example.probs.Set(t3, {0.4, 0.6});  // prob(a1), prob(a2)
+  example.probs.Set(t5, {0.5, 0.5});  // paper: prob(b1) = 0.5
+
+  AssignDeadline(example.graph, example.platform, deadline_factor);
+  return example;
+}
+
+}  // namespace actg::apps

@@ -1,0 +1,37 @@
+/// \file fig1_example.h
+/// The paper's Figure 1 example CTG.
+///
+/// Eight tasks; τ8 is an or-node, every other node an and-node. τ3 is a
+/// branch fork with outcomes a1/a2, τ5 with b1/b2. The minterm set is
+/// M = {1, a1, a2b1, a2b2}; Γ(τ8) = {1, a1}, and τ8 carries an implied
+/// dependency on the fork τ3 (paper Example 1). Execution profile and
+/// communication volumes are not legible in the paper, so representative
+/// values are used.
+
+#ifndef ACTG_APPS_FIG1_EXAMPLE_H
+#define ACTG_APPS_FIG1_EXAMPLE_H
+
+#include "arch/platform.h"
+#include "ctg/condition.h"
+#include "ctg/graph.h"
+
+namespace actg::apps {
+
+/// The Figure 1 model: graph, a 2-PE platform, and the branch
+/// probabilities used in the paper's discussion (prob(b1) = 0.5).
+struct Fig1Example {
+  ctg::Ctg graph;
+  arch::Platform platform;
+  ctg::BranchProbabilities probs;
+
+  /// Task ids in paper order: tau(1) .. tau(8).
+  TaskId tau(int i) const { return TaskId{i - 1}; }
+};
+
+/// Builds the Figure 1 example. The deadline is set to \p deadline_factor
+/// times the nominal DLS makespan.
+Fig1Example MakeFig1Example(double deadline_factor = 1.8);
+
+}  // namespace actg::apps
+
+#endif  // ACTG_APPS_FIG1_EXAMPLE_H

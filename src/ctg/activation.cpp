@@ -1,0 +1,171 @@
+#include "ctg/activation.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace actg::ctg {
+
+ActivationAnalysis::ActivationAnalysis(const Ctg& graph) : graph_(&graph) {
+  ComputeGuards();
+  ComputeMutex();
+  ComputeImpliedDeps();
+}
+
+void ActivationAnalysis::ComputeGuards() {
+  const Ctg& g = *graph_;
+  const auto arity = g.ArityFn();
+  guards_.assign(g.task_count(), Guard::False());
+
+  for (TaskId id : g.TopologicalOrder()) {
+    const auto& in_edges = g.InEdges(id);
+    if (in_edges.empty()) {
+      // Entry tasks are activated in every instance.
+      guards_[id.index()] = Guard::True();
+      continue;
+    }
+    Guard acc;
+    bool first = true;
+    for (EdgeId eid : in_edges) {
+      const Edge& e = g.edge(eid);
+      Guard alternative = guards_[e.src.index()];
+      if (e.condition.has_value()) {
+        alternative = alternative.AndCondition(*e.condition, arity);
+      }
+      if (first) {
+        acc = std::move(alternative);
+        first = false;
+      } else if (g.task(id).join == JoinType::kAnd) {
+        acc = acc.And(alternative, arity);
+      } else {
+        acc = acc.Or(alternative, arity);
+      }
+    }
+    guards_[id.index()] = std::move(acc);
+  }
+}
+
+void ActivationAnalysis::ComputeMutex() {
+  const std::size_t n = graph_->task_count();
+  mutex_.assign(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool exclusive =
+          !guards_[i].CompatibleWith(guards_[j]);
+      mutex_[i][j] = exclusive;
+      mutex_[j][i] = exclusive;
+    }
+  }
+}
+
+void ActivationAnalysis::ComputeImpliedDeps() {
+  const Ctg& g = *graph_;
+  const auto arity = g.ArityFn();
+  for (TaskId id : g.TopologicalOrder()) {
+    if (g.task(id).join != JoinType::kOr) continue;
+    // The or-node cannot start before it knows which alternative
+    // activates it: every fork mentioned by any incoming alternative's
+    // guard must have resolved.
+    std::vector<TaskId> forks;
+    for (EdgeId eid : g.InEdges(id)) {
+      const Edge& e = g.edge(eid);
+      Guard alternative = guards_[e.src.index()];
+      if (e.condition.has_value()) {
+        alternative = alternative.AndCondition(*e.condition, arity);
+      }
+      for (TaskId fork : alternative.Support()) forks.push_back(fork);
+    }
+    std::sort(forks.begin(), forks.end());
+    forks.erase(std::unique(forks.begin(), forks.end()), forks.end());
+    for (TaskId fork : forks) {
+      if (fork == id) continue;
+      bool direct_unconditional = false;
+      for (EdgeId eid : g.InEdges(id)) {
+        const Edge& e = g.edge(eid);
+        if (e.src == fork && !e.condition.has_value()) {
+          direct_unconditional = true;
+          break;
+        }
+      }
+      if (!direct_unconditional) implied_deps_.emplace_back(fork, id);
+    }
+  }
+}
+
+bool ActivationAnalysis::MutuallyExclusive(TaskId a, TaskId b) const {
+  return mutex_.at(a.index()).at(b.index());
+}
+
+double ActivationAnalysis::ActivationProbability(
+    TaskId task, const BranchProbabilities& probs) const {
+  return ActivationGuard(task).Probability(probs);
+}
+
+bool ActivationAnalysis::IsActive(TaskId task,
+                                  const BranchAssignment& assignment) const {
+  return ActivationGuard(task).Evaluate(assignment);
+}
+
+bool ActivationAnalysis::IsActive(TaskId task,
+                                  const Minterm& scenario) const {
+  for (const Minterm& m : Gamma(task)) {
+    if (scenario.Implies(m)) return true;
+  }
+  return false;
+}
+
+void ActivationAnalysis::EnumerateScenariosRec(
+    const Minterm& current, double prob, std::size_t fork_pos,
+    const BranchProbabilities* probs, std::vector<Scenario>& out) const {
+  const Ctg& g = *graph_;
+  const auto& forks = g.ForkIds();
+  // Find the next fork (in topological order) that is active under the
+  // partial assignment built so far. Guards of a fork only mention
+  // strictly earlier forks, so activity is fully determined.
+  for (std::size_t pos = fork_pos; pos < forks.size(); ++pos) {
+    const TaskId fork = forks[pos];
+    if (!IsActive(fork, current)) continue;
+    for (int outcome = 0; outcome < g.OutcomeCount(fork); ++outcome) {
+      const double p =
+          probs != nullptr ? probs->Outcome(fork, outcome) : 1.0;
+      if (probs != nullptr && p == 0.0) continue;
+      auto extended = current.With(Condition{fork, outcome});
+      ACTG_ASSERT(extended.has_value(),
+                  "scenario enumeration produced a contradiction");
+      EnumerateScenariosRec(*extended, prob * p, pos + 1, probs, out);
+    }
+    return;
+  }
+  out.push_back(Scenario{current, prob});
+}
+
+std::vector<Scenario> ActivationAnalysis::EnumerateScenarios(
+    const BranchProbabilities& probs) const {
+  std::vector<Scenario> out;
+  EnumerateScenariosRec(Minterm(), 1.0, 0, &probs, out);
+  return out;
+}
+
+std::vector<Minterm> ActivationAnalysis::EnumerateScenarioAssignments()
+    const {
+  std::vector<Scenario> scenarios;
+  EnumerateScenariosRec(Minterm(), 1.0, 0, nullptr, scenarios);
+  std::vector<Minterm> out;
+  out.reserve(scenarios.size());
+  for (auto& s : scenarios) out.push_back(std::move(s.assignment));
+  return out;
+}
+
+std::vector<Minterm> ActivationAnalysis::AllMinterms() const {
+  std::vector<Minterm> all;
+  for (const Guard& guard : guards_) {
+    for (const Minterm& m : guard.minterms()) {
+      if (std::find(all.begin(), all.end(), m) == all.end()) {
+        all.push_back(m);
+      }
+    }
+  }
+  return all;
+}
+
+}  // namespace actg::ctg

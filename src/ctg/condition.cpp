@@ -1,0 +1,373 @@
+#include "ctg/condition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace actg::ctg {
+
+// ---------------------------------------------------------------------------
+// BranchAssignment
+
+void BranchAssignment::Set(TaskId fork, int outcome) {
+  ACTG_CHECK(fork.valid() && fork.index() < outcomes_.size(),
+             "BranchAssignment::Set: fork id out of range");
+  ACTG_CHECK(outcome >= 0, "BranchAssignment::Set: outcome must be >= 0");
+  outcomes_[fork.index()] = outcome;
+}
+
+int BranchAssignment::Get(TaskId fork) const {
+  ACTG_CHECK(fork.valid() && fork.index() < outcomes_.size(),
+             "BranchAssignment::Get: fork id out of range");
+  return outcomes_[fork.index()];
+}
+
+// ---------------------------------------------------------------------------
+// BranchProbabilities
+
+void BranchProbabilities::Set(TaskId fork,
+                              std::vector<double> outcome_probs) {
+  ACTG_CHECK(fork.valid() && fork.index() < dists_.size(),
+             "BranchProbabilities::Set: fork id out of range");
+  ACTG_CHECK(outcome_probs.size() >= 2,
+             "A branch fork needs at least two outcomes");
+  double total = 0.0;
+  for (double p : outcome_probs) {
+    ACTG_CHECK(p >= 0.0 && p <= 1.0,
+               "Outcome probabilities must lie in [0, 1]");
+    total += p;
+  }
+  ACTG_CHECK(std::abs(total - 1.0) < 1e-6,
+             "Outcome probabilities must sum to 1");
+  dists_[fork.index()] = std::move(outcome_probs);
+}
+
+bool BranchProbabilities::Has(TaskId fork) const {
+  return fork.valid() && fork.index() < dists_.size() &&
+         !dists_[fork.index()].empty();
+}
+
+double BranchProbabilities::Outcome(TaskId fork, int outcome) const {
+  ACTG_CHECK(Has(fork), "No distribution set for this fork");
+  const auto& dist = dists_[fork.index()];
+  ACTG_CHECK(outcome >= 0 && static_cast<std::size_t>(outcome) < dist.size(),
+             "Outcome index out of range");
+  return dist[static_cast<std::size_t>(outcome)];
+}
+
+int BranchProbabilities::OutcomeCount(TaskId fork) const {
+  ACTG_CHECK(Has(fork), "No distribution set for this fork");
+  return static_cast<int>(dists_[fork.index()].size());
+}
+
+// ---------------------------------------------------------------------------
+// Minterm
+
+std::optional<Minterm> Minterm::FromConditions(
+    std::vector<Condition> conditions) {
+  std::sort(conditions.begin(), conditions.end());
+  Minterm m;
+  for (const Condition& c : conditions) {
+    if (!m.conditions_.empty() && m.conditions_.back().fork == c.fork) {
+      if (m.conditions_.back().outcome != c.outcome) return std::nullopt;
+      continue;  // duplicate
+    }
+    m.conditions_.push_back(c);
+  }
+  return m;
+}
+
+std::optional<int> Minterm::OutcomeOf(TaskId fork) const {
+  for (const Condition& c : conditions_) {
+    if (c.fork == fork) return c.outcome;
+    if (c.fork > fork) break;
+  }
+  return std::nullopt;
+}
+
+bool Minterm::CompatibleWith(const Minterm& other) const {
+  // Merge-walk over the two sorted condition lists.
+  std::size_t i = 0, j = 0;
+  while (i < conditions_.size() && j < other.conditions_.size()) {
+    if (conditions_[i].fork == other.conditions_[j].fork) {
+      if (conditions_[i].outcome != other.conditions_[j].outcome)
+        return false;
+      ++i;
+      ++j;
+    } else if (conditions_[i].fork < other.conditions_[j].fork) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
+}
+
+std::optional<Minterm> Minterm::Conjoin(const Minterm& other) const {
+  if (!CompatibleWith(other)) return std::nullopt;
+  Minterm out;
+  out.conditions_.reserve(conditions_.size() + other.conditions_.size());
+  std::size_t i = 0, j = 0;
+  while (i < conditions_.size() || j < other.conditions_.size()) {
+    if (j == other.conditions_.size() ||
+        (i < conditions_.size() &&
+         conditions_[i].fork <= other.conditions_[j].fork)) {
+      if (j < other.conditions_.size() &&
+          conditions_[i].fork == other.conditions_[j].fork) {
+        ++j;  // identical condition present in both
+      }
+      out.conditions_.push_back(conditions_[i++]);
+    } else {
+      out.conditions_.push_back(other.conditions_[j++]);
+    }
+  }
+  return out;
+}
+
+bool Minterm::Implies(const Minterm& other) const {
+  // this implies other <=> other's conditions are a subset of this's.
+  return std::includes(conditions_.begin(), conditions_.end(),
+                       other.conditions_.begin(), other.conditions_.end());
+}
+
+bool Minterm::Evaluate(const BranchAssignment& assignment) const {
+  for (const Condition& c : conditions_) {
+    if (assignment.Get(c.fork) != c.outcome) return false;
+  }
+  return true;
+}
+
+double Minterm::Probability(const BranchProbabilities& probs) const {
+  double p = 1.0;
+  for (const Condition& c : conditions_) p *= probs.Of(c);
+  return p;
+}
+
+Minterm Minterm::Without(TaskId fork) const {
+  Minterm out;
+  out.conditions_.reserve(conditions_.size());
+  for (const Condition& c : conditions_) {
+    if (c.fork != fork) out.conditions_.push_back(c);
+  }
+  return out;
+}
+
+std::string Minterm::ToString(
+    const std::function<std::string(TaskId)>& fork_name) const {
+  if (IsTrue()) return "1";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < conditions_.size(); ++i) {
+    if (i != 0) os << '&';
+    os << fork_name(conditions_[i].fork) << '=' << conditions_[i].outcome;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Guard
+
+Guard Guard::True() { return Of(Minterm()); }
+
+Guard Guard::Of(Minterm m) {
+  Guard g;
+  g.minterms_.push_back(std::move(m));
+  return g;
+}
+
+bool Guard::IsTrue() const {
+  for (const Minterm& m : minterms_) {
+    if (m.IsTrue()) return true;
+  }
+  return false;
+}
+
+Guard Guard::Or(const Guard& other, const ForkArity& arity) const {
+  Guard out;
+  out.minterms_ = minterms_;
+  out.minterms_.insert(out.minterms_.end(), other.minterms_.begin(),
+                       other.minterms_.end());
+  out.Simplify(arity);
+  return out;
+}
+
+Guard Guard::And(const Guard& other, const ForkArity& arity) const {
+  Guard out;
+  for (const Minterm& a : minterms_) {
+    for (const Minterm& b : other.minterms_) {
+      if (auto m = a.Conjoin(b)) out.minterms_.push_back(std::move(*m));
+    }
+  }
+  out.Simplify(arity);
+  return out;
+}
+
+Guard Guard::AndCondition(Condition c, const ForkArity& arity) const {
+  return And(Of(Minterm(c)), arity);
+}
+
+bool Guard::CompatibleWith(const Guard& other) const {
+  for (const Minterm& a : minterms_) {
+    for (const Minterm& b : other.minterms_) {
+      if (a.CompatibleWith(b)) return true;
+    }
+  }
+  return false;
+}
+
+bool Guard::CompatibleWith(const Minterm& m) const {
+  for (const Minterm& a : minterms_) {
+    if (a.CompatibleWith(m)) return true;
+  }
+  return false;
+}
+
+bool Guard::Implies(const Guard& other) const {
+  for (const Minterm& a : minterms_) {
+    bool covered = false;
+    for (const Minterm& b : other.minterms_) {
+      if (a.Implies(b)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool Guard::Evaluate(const BranchAssignment& assignment) const {
+  for (const Minterm& m : minterms_) {
+    if (m.Evaluate(assignment)) return true;
+  }
+  return false;
+}
+
+std::vector<TaskId> Guard::Support() const {
+  std::vector<TaskId> support;
+  for (const Minterm& m : minterms_) {
+    for (const Condition& c : m.conditions()) support.push_back(c.fork);
+  }
+  std::sort(support.begin(), support.end());
+  support.erase(std::unique(support.begin(), support.end()), support.end());
+  return support;
+}
+
+Guard Guard::RestrictedTo(Condition c) const {
+  // Cofactor of the DNF with respect to fork=outcome.
+  Guard out;
+  for (const Minterm& m : minterms_) {
+    const auto assigned = m.OutcomeOf(c.fork);
+    if (assigned.has_value() && *assigned != c.outcome) continue;
+    out.minterms_.push_back(m.Without(c.fork));
+  }
+  return out;
+}
+
+double Guard::ProbabilityRec(const BranchProbabilities& probs,
+                             const std::vector<TaskId>& support,
+                             std::size_t var_index) const {
+  if (minterms_.empty()) return 0.0;
+  if (IsTrue()) return 1.0;
+  ACTG_ASSERT(var_index < support.size(),
+              "Guard probability expansion exhausted its support");
+  const TaskId fork = support[var_index];
+  const int arity = probs.OutcomeCount(fork);
+  double total = 0.0;
+  for (int outcome = 0; outcome < arity; ++outcome) {
+    const double p = probs.Outcome(fork, outcome);
+    if (p == 0.0) continue;
+    const Guard cofactor = RestrictedTo(Condition{fork, outcome});
+    total += p * cofactor.ProbabilityRec(probs, support, var_index + 1);
+  }
+  return total;
+}
+
+double Guard::Probability(const BranchProbabilities& probs) const {
+  if (minterms_.empty()) return 0.0;
+  if (IsTrue()) return 1.0;
+  const std::vector<TaskId> support = Support();
+  return ProbabilityRec(probs, support, 0);
+}
+
+void Guard::Simplify(const ForkArity& arity) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Deduplicate and apply absorption: drop any minterm implied by a
+    // strictly weaker one (a&b is absorbed by a).
+    std::sort(minterms_.begin(), minterms_.end(),
+              [](const Minterm& a, const Minterm& b) {
+                if (a.size() != b.size()) return a.size() < b.size();
+                return a.conditions() < b.conditions();
+              });
+    std::vector<Minterm> kept;
+    for (const Minterm& m : minterms_) {
+      bool absorbed = false;
+      for (const Minterm& k : kept) {
+        if (m.Implies(k)) {
+          absorbed = true;
+          break;
+        }
+      }
+      if (!absorbed) kept.push_back(m);
+    }
+    if (kept.size() != minterms_.size()) changed = true;
+    minterms_ = std::move(kept);
+
+    // Complementary merge: if for some base minterm m and fork f the set
+    // contains m&{f=o} for every outcome o of f, replace them by m.
+    for (std::size_t i = 0; i < minterms_.size() && !changed; ++i) {
+      for (const Condition& c : minterms_[i].conditions()) {
+        const int fork_arity = arity ? arity(c.fork) : 0;
+        if (fork_arity < 2) continue;
+        const Minterm base = minterms_[i].Without(c.fork);
+        int present = 0;
+        for (int outcome = 0; outcome < fork_arity; ++outcome) {
+          const auto want = base.With(Condition{c.fork, outcome});
+          ACTG_ASSERT(want.has_value(), "base minterm excludes its own fork");
+          for (const Minterm& m : minterms_) {
+            if (m == *want) {
+              ++present;
+              break;
+            }
+          }
+        }
+        if (present == fork_arity) {
+          std::vector<Minterm> next;
+          next.reserve(minterms_.size());
+          for (const Minterm& m : minterms_) {
+            bool is_merged_child = false;
+            for (int outcome = 0; outcome < fork_arity; ++outcome) {
+              const auto want = base.With(Condition{c.fork, outcome});
+              if (want.has_value() && m == *want) {
+                is_merged_child = true;
+                break;
+              }
+            }
+            if (!is_merged_child) next.push_back(m);
+          }
+          next.push_back(base);
+          minterms_ = std::move(next);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::string Guard::ToString(
+    const std::function<std::string(TaskId)>& fork_name) const {
+  if (minterms_.empty()) return "0";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < minterms_.size(); ++i) {
+    if (i != 0) os << " | ";
+    os << minterms_[i].ToString(fork_name);
+  }
+  return os.str();
+}
+
+}  // namespace actg::ctg

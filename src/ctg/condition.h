@@ -1,0 +1,226 @@
+/// \file condition.h
+/// Condition algebra for conditional task graphs (paper Section II).
+///
+/// A *condition* is one outcome of a branch fork task (e.g. "a1" = fork A
+/// took outcome 0). A *minterm* is a conjunction of conditions, at most
+/// one per fork; the empty minterm is the constant true ("1" in the
+/// paper). A *guard* is a disjunction of minterms (DNF) and represents an
+/// activation condition X(τ).
+
+#ifndef ACTG_CTG_CONDITION_H
+#define ACTG_CTG_CONDITION_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctg/ids.h"
+
+namespace actg::ctg {
+
+/// One outcome of a branch fork task. Outcomes of a fork with k
+/// conditional alternatives are indexed 0..k-1.
+struct Condition {
+  TaskId fork;
+  int outcome = -1;
+
+  friend constexpr auto operator<=>(const Condition&,
+                                    const Condition&) = default;
+};
+
+/// Per-instance resolution of every branch fork: fork task -> the
+/// outcome it selected. Dense by task index; -1 for non-fork tasks.
+class BranchAssignment {
+ public:
+  BranchAssignment() = default;
+
+  /// Creates an assignment able to hold outcomes for \p task_count tasks.
+  explicit BranchAssignment(std::size_t task_count)
+      : outcomes_(task_count, -1) {}
+
+  /// Records the outcome selected by \p fork.
+  void Set(TaskId fork, int outcome);
+
+  /// Outcome selected by \p fork, or -1 when unset.
+  int Get(TaskId fork) const;
+
+  std::size_t size() const { return outcomes_.size(); }
+
+ private:
+  std::vector<int> outcomes_;
+};
+
+/// Probability distribution over the outcomes of every branch fork.
+/// Outcomes of a fork are assumed independent of other forks (paper
+/// Section I: branch selections are random variables characterized by
+/// their probability distribution).
+class BranchProbabilities {
+ public:
+  BranchProbabilities() = default;
+
+  /// Creates a table able to hold distributions for \p task_count tasks.
+  explicit BranchProbabilities(std::size_t task_count)
+      : dists_(task_count) {}
+
+  /// Sets the outcome distribution of \p fork. Probabilities must be
+  /// non-negative and sum to 1 within tolerance.
+  void Set(TaskId fork, std::vector<double> outcome_probs);
+
+  /// True when a distribution has been set for \p fork.
+  bool Has(TaskId fork) const;
+
+  /// Probability that \p fork selects \p outcome. Requires Has(fork).
+  double Outcome(TaskId fork, int outcome) const;
+
+  /// Probability of a single condition.
+  double Of(const Condition& c) const { return Outcome(c.fork, c.outcome); }
+
+  /// Number of outcomes of \p fork. Requires Has(fork).
+  int OutcomeCount(TaskId fork) const;
+
+  std::size_t size() const { return dists_.size(); }
+
+ private:
+  std::vector<std::vector<double>> dists_;
+};
+
+/// Conjunction of conditions, at most one outcome per fork. Kept sorted
+/// by fork id; the empty minterm is the constant true.
+class Minterm {
+ public:
+  /// The constant-true minterm ("1" in the paper).
+  Minterm() = default;
+
+  /// Minterm of a single condition.
+  explicit Minterm(Condition c) : conditions_{c} {}
+
+  /// Builds a minterm from arbitrary conditions. Returns nullopt when two
+  /// conditions assign different outcomes to the same fork (contradiction).
+  static std::optional<Minterm> FromConditions(
+      std::vector<Condition> conditions);
+
+  /// True for the constant-true minterm.
+  bool IsTrue() const { return conditions_.empty(); }
+
+  /// Number of conditions in the conjunction.
+  std::size_t size() const { return conditions_.size(); }
+
+  const std::vector<Condition>& conditions() const { return conditions_; }
+
+  /// Outcome this minterm requires of \p fork, or nullopt when the fork
+  /// is unconstrained.
+  std::optional<int> OutcomeOf(TaskId fork) const;
+
+  /// True when the two minterms can hold simultaneously (no fork is
+  /// assigned two different outcomes).
+  bool CompatibleWith(const Minterm& other) const;
+
+  /// Conjunction; nullopt when contradictory.
+  std::optional<Minterm> Conjoin(const Minterm& other) const;
+
+  /// True when this minterm implies \p other (this conjunction contains
+  /// every condition of \p other).
+  bool Implies(const Minterm& other) const;
+
+  /// Evaluates the minterm under a full branch assignment.
+  bool Evaluate(const BranchAssignment& assignment) const;
+
+  /// Probability of the minterm under independent fork distributions.
+  double Probability(const BranchProbabilities& probs) const;
+
+  /// Minterm with \p fork's condition removed (used by simplification).
+  Minterm Without(TaskId fork) const;
+
+  /// Minterm extended by one condition; nullopt when contradictory.
+  std::optional<Minterm> With(Condition c) const { return Conjoin(Minterm(c)); }
+
+  /// Human-readable form, e.g. "a=1&b=0"; "1" for the true minterm.
+  /// \p fork_name maps a fork task to a printable label.
+  std::string ToString(
+      const std::function<std::string(TaskId)>& fork_name) const;
+
+  friend bool operator==(const Minterm&, const Minterm&) = default;
+
+ private:
+  std::vector<Condition> conditions_;  // sorted by fork id
+};
+
+/// Disjunction of minterms (DNF). Canonical form: no duplicate or
+/// absorbed minterms; complementary minterms merged when the fork's
+/// outcome arity is known.
+class Guard {
+ public:
+  /// Maps a fork task to its number of outcomes; required by the
+  /// complementary-merge simplification and by exact probability
+  /// computation. Returning 0 means "arity unknown" and disables merging
+  /// for that fork.
+  using ForkArity = std::function<int(TaskId)>;
+
+  /// The constant-false guard (empty disjunction).
+  Guard() = default;
+
+  /// The constant-true guard.
+  static Guard True();
+
+  /// The constant-false guard.
+  static Guard False() { return Guard(); }
+
+  /// Guard of a single minterm.
+  static Guard Of(Minterm m);
+
+  bool IsFalse() const { return minterms_.empty(); }
+  bool IsTrue() const;
+
+  const std::vector<Minterm>& minterms() const { return minterms_; }
+
+  /// Disjunction (simplified with the given arity information).
+  Guard Or(const Guard& other, const ForkArity& arity) const;
+
+  /// Conjunction (distributes, drops contradictions, simplifies).
+  Guard And(const Guard& other, const ForkArity& arity) const;
+
+  /// Conjunction with one condition.
+  Guard AndCondition(Condition c, const ForkArity& arity) const;
+
+  /// True when the guards can hold simultaneously.
+  bool CompatibleWith(const Guard& other) const;
+
+  /// True when \p m is compatible with at least one minterm of this guard.
+  bool CompatibleWith(const Minterm& m) const;
+
+  /// True when this guard implies \p other (every minterm of this guard
+  /// implies some minterm of \p other).
+  bool Implies(const Guard& other) const;
+
+  /// Evaluates under a full branch assignment.
+  bool Evaluate(const BranchAssignment& assignment) const;
+
+  /// Exact probability under independent fork distributions (Shannon
+  /// expansion over the guard's support variables — exponential only in
+  /// the number of *distinct forks mentioned by this guard*, which is
+  /// small for the structured CTGs of the paper).
+  double Probability(const BranchProbabilities& probs) const;
+
+  /// All fork tasks mentioned by the guard, sorted, deduplicated.
+  std::vector<TaskId> Support() const;
+
+  /// Human-readable DNF, e.g. "a=0 | a=1&b=0"; "0" when false.
+  std::string ToString(
+      const std::function<std::string(TaskId)>& fork_name) const;
+
+  friend bool operator==(const Guard&, const Guard&) = default;
+
+ private:
+  void Simplify(const ForkArity& arity);
+  double ProbabilityRec(const BranchProbabilities& probs,
+                        const std::vector<TaskId>& support,
+                        std::size_t var_index) const;
+  Guard RestrictedTo(Condition c) const;
+
+  std::vector<Minterm> minterms_;
+};
+
+}  // namespace actg::ctg
+
+#endif  // ACTG_CTG_CONDITION_H

@@ -1,0 +1,46 @@
+#include "ctg/dot.h"
+
+namespace actg::ctg {
+
+namespace {
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+}  // namespace
+
+void WriteDot(std::ostream& os, const Ctg& graph) {
+  os << "digraph ctg {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  for (TaskId id : graph.TaskIds()) {
+    os << "  t" << id.value << " [label=\""
+       << EscapeLabel(graph.task(id).name) << "\"";
+    if (graph.IsFork(id)) {
+      os << ", shape=diamond";
+    } else if (graph.task(id).join == JoinType::kOr) {
+      os << ", shape=doublecircle";
+    } else {
+      os << ", shape=ellipse";
+    }
+    os << "];\n";
+  }
+  for (EdgeId eid : graph.EdgeIds()) {
+    const Edge& e = graph.edge(eid);
+    os << "  t" << e.src.value << " -> t" << e.dst.value;
+    if (e.condition.has_value()) {
+      os << " [style=dashed, label=\""
+         << EscapeLabel(
+                graph.OutcomeLabel(e.condition->fork, e.condition->outcome))
+         << "\"]";
+    } else if (e.comm_kbytes > 0.0) {
+      os << " [label=\"" << e.comm_kbytes << "KB\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace actg::ctg

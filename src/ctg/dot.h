@@ -1,0 +1,20 @@
+/// \file dot.h
+/// Graphviz export of a CTG for documentation and debugging.
+
+#ifndef ACTG_CTG_DOT_H
+#define ACTG_CTG_DOT_H
+
+#include <ostream>
+
+#include "ctg/graph.h"
+
+namespace actg::ctg {
+
+/// Writes \p graph as a Graphviz digraph. Branch fork nodes are drawn as
+/// diamonds, or-nodes as double circles; conditional edges are dashed and
+/// labelled with their outcome label.
+void WriteDot(std::ostream& os, const Ctg& graph);
+
+}  // namespace actg::ctg
+
+#endif  // ACTG_CTG_DOT_H

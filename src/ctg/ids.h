@@ -1,0 +1,57 @@
+/// \file ids.h
+/// Strongly typed identifiers for tasks, edges, and processing elements.
+///
+/// Using distinct wrapper types (rather than bare ints) makes it a
+/// compile-time error to pass a PE index where a task index is expected
+/// (C++ Core Guidelines I.4: make interfaces precisely and strongly
+/// typed).
+
+#ifndef ACTG_CTG_IDS_H
+#define ACTG_CTG_IDS_H
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+
+namespace actg {
+
+/// Generic integer identifier distinguished by a tag type.
+template <typename Tag>
+struct StrongId {
+  int value = -1;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(int v) : value(v) {}
+
+  /// True when the id refers to an element (ids are created valid by the
+  /// builders; default-constructed ids are sentinels).
+  constexpr bool valid() const { return value >= 0; }
+
+  /// Index into dense per-element arrays.
+  constexpr std::size_t index() const { return static_cast<std::size_t>(value); }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+
+struct TaskTag {};
+struct EdgeTag {};
+struct PeTag {};
+
+/// Identifies a task (vertex) of a CTG.
+using TaskId = StrongId<TaskTag>;
+/// Identifies an edge of a CTG.
+using EdgeId = StrongId<EdgeTag>;
+/// Identifies a processing element of a platform.
+using PeId = StrongId<PeTag>;
+
+/// Hash functor usable with unordered containers for any StrongId.
+struct StrongIdHash {
+  template <typename Tag>
+  std::size_t operator()(StrongId<Tag> id) const {
+    return std::hash<int>{}(id.value);
+  }
+};
+
+}  // namespace actg
+
+#endif  // ACTG_CTG_IDS_H

@@ -1,0 +1,41 @@
+#include "dvfs/algorithms.h"
+
+namespace actg::dvfs {
+
+sched::Schedule RunOnlineAlgorithm(const ctg::Ctg& graph,
+                                   const ctg::ActivationAnalysis& analysis,
+                                   const arch::Platform& platform,
+                                   const ctg::BranchProbabilities& probs) {
+  sched::Schedule schedule =
+      sched::RunDls(graph, analysis, platform, probs);
+  StretchOnline(schedule, probs);
+  return schedule;
+}
+
+sched::Schedule RunReference1(const ctg::Ctg& graph,
+                              const ctg::ActivationAnalysis& analysis,
+                              const arch::Platform& platform,
+                              const ctg::BranchProbabilities& probs) {
+  const std::vector<PeId> mapping = sched::RoundRobinMapping(graph, platform);
+  sched::DlsOptions options;
+  options.level_policy = sched::LevelPolicy::kWorstCase;
+  options.mutex_aware = false;
+  options.fixed_mapping = &mapping;
+  sched::Schedule schedule =
+      sched::RunDls(graph, analysis, platform, probs, options);
+  StretchProportional(schedule);
+  return schedule;
+}
+
+sched::Schedule RunReference2(const ctg::Ctg& graph,
+                              const ctg::ActivationAnalysis& analysis,
+                              const arch::Platform& platform,
+                              const ctg::BranchProbabilities& probs,
+                              const NlpOptions& options) {
+  sched::Schedule schedule =
+      sched::RunDls(graph, analysis, platform, probs);
+  StretchNlp(schedule, probs, options);
+  return schedule;
+}
+
+}  // namespace actg::dvfs

@@ -1,0 +1,112 @@
+/// \file paths.h
+/// Path analysis over a scheduled CTG (paper Section III.A).
+///
+/// After DLS ordering, "all possible paths in the CTG are calculated"
+/// over the scheduled DAG (CTG edges + implied control dependencies +
+/// pseudo order edges). Each path carries the tasks it spans, its
+/// realizability guard, its fixed communication delay and its current
+/// total delay; slack is measured against the common deadline.
+/// prob(p, τ) — the probability of path p given that task τ is activated
+/// — is the joint probability of the conditional branches lying on the
+/// path at or after τ (paper's example: prob(τ1-τ3-τ5-τ6, τ5) = prob(b1)).
+
+#ifndef ACTG_DVFS_PATHS_H
+#define ACTG_DVFS_PATHS_H
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ctg/activation.h"
+#include "sched/schedule.h"
+
+namespace actg::dvfs {
+
+/// One source-to-sink path of the scheduled DAG.
+struct Path {
+  /// Tasks in path order.
+  std::vector<TaskId> tasks;
+  /// Edge between tasks[k] and tasks[k+1]; nullopt for pseudo/control
+  /// edges (which carry no data and no condition).
+  std::vector<std::optional<EdgeId>> edges;
+  /// Conjunction of the activation guards of all tasks on the path and
+  /// the conditions of all its edges. Paths whose guard is false are
+  /// unrealizable and are not enumerated.
+  ctg::Guard guard;
+  /// Total communication delay along the path (speed-independent), ms.
+  double comm_ms = 0.0;
+  /// Current total delay: comm_ms + Σ scaled execution times, ms.
+  double delay_ms = 0.0;
+  /// Execution time of the tasks on this path that have not been
+  /// stretched-and-locked yet ("the delay ... of these paths [is]
+  /// reduced, ... releasing the tasks that are being stretched from
+  /// consideration", paper Section III.A). The distributable slack
+  /// ratio is Slack()/unlocked_ms.
+  double unlocked_ms = 0.0;
+
+  /// Remaining slack against \p deadline_ms.
+  double Slack(double deadline_ms) const { return deadline_ms - delay_ms; }
+
+  /// Distributable slack per unit of unlocked execution time; 0 once
+  /// every task on the path is locked.
+  double SlackRatio(double deadline_ms) const {
+    if (unlocked_ms <= 0.0) return 0.0;
+    return std::max(Slack(deadline_ms), 0.0) / unlocked_ms;
+  }
+};
+
+/// The enumerated paths of one schedule plus per-task spanning lists.
+class PathSet {
+ public:
+  /// Enumerates all realizable source-to-sink paths of the scheduled DAG
+  /// and computes their delays at the schedule's current speed ratios.
+  /// Throws actg::InvalidArgument when more than \p max_paths paths
+  /// exist (guard against pathological graphs; the paper's CTGs are
+  /// small and structured).
+  ///
+  /// With \p drop_unrealizable = false, paths whose guard is false are
+  /// kept (their guard is the constant-false guard). This models a
+  /// mutual-exclusion-blind analysis (Reference Algorithm 1), which
+  /// cannot tell that a chain through two exclusive branches can never
+  /// execute and therefore budgets deadline slack for it.
+  explicit PathSet(const sched::Schedule& schedule,
+                   std::size_t max_paths = 1 << 20,
+                   bool drop_unrealizable = true);
+
+  std::size_t size() const { return paths_.size(); }
+  const Path& path(std::size_t i) const { return paths_.at(i); }
+
+  /// Indices of the paths that span \p task.
+  const std::vector<std::size_t>& Spanning(TaskId task) const {
+    return by_task_.at(task.index());
+  }
+
+  /// Position of \p task on path \p i; requires the path to span it.
+  std::size_t PositionOf(std::size_t i, TaskId task) const;
+
+  /// prob(p, τ): joint probability of the conditional branches on path
+  /// \p i lying at or after \p task (conditions on edges whose source
+  /// position >= the task's position).
+  double ProbAfter(std::size_t i, TaskId task,
+                   const ctg::BranchProbabilities& probs) const;
+
+  /// Step 6 of the online stretching heuristic: the task has been
+  /// stretched by \p extra_ms and locked. Every spanning path's total
+  /// delay grows by the extension while the task's nominal execution
+  /// time \p nominal_ms leaves the distributable (unlocked) delay.
+  void CommitTask(TaskId task, double extra_ms, double nominal_ms);
+
+  /// Largest delay over all paths (the worst-case makespan implied by
+  /// the path model).
+  double MaxDelay() const;
+
+ private:
+  const ctg::Ctg* graph_;
+  std::vector<Path> paths_;
+  std::vector<std::vector<std::size_t>> by_task_;
+};
+
+}  // namespace actg::dvfs
+
+#endif  // ACTG_DVFS_PATHS_H

@@ -1,0 +1,79 @@
+/// \file stretch.h
+/// Task stretching (DVFS speed selection) for scheduled CTGs.
+///
+/// Three stretchers share one interface: they consume a Schedule whose
+/// speed ratios are nominal (1.0) and assign per-task speed ratios such
+/// that every realizable execution path still meets the common deadline.
+///
+/// * StretchOnline     — the paper's low-complexity heuristic (Fig. 2):
+///   per-minterm critical paths, prob(p,τ)-weighted slack, weighting by
+///   the activation probability prob(τ), deadline clamping.
+/// * StretchProportional — probability-blind slack distribution standing
+///   in for Reference Algorithm 1 [10]/[9]: identical machinery with all
+///   probability weights removed ("does not differentiate tasks with
+///   high activation probability from tasks with low activation
+///   probability during slack distribution").
+/// * StretchNlp        — convex optimizer standing in for Reference
+///   Algorithm 2's NLP stage [17]: minimizes expected energy
+///   Σ P(τ)·E(τ)·(w/t)² subject to per-path deadline constraints by
+///   projected gradient descent plus a coordinate-fill polish. Orders of
+///   magnitude slower than the heuristic, slightly better energy — the
+///   paper's Table 1 trade-off.
+
+#ifndef ACTG_DVFS_STRETCH_H
+#define ACTG_DVFS_STRETCH_H
+
+#include <cstddef>
+
+#include "ctg/condition.h"
+#include "sched/schedule.h"
+
+namespace actg::dvfs {
+
+/// Diagnostics returned by every stretcher.
+struct StretchStats {
+  /// Number of paths enumerated over the scheduled DAG.
+  std::size_t path_count = 0;
+  /// Total execution-time extension distributed across tasks, ms.
+  double total_extension_ms = 0.0;
+  /// Worst path delay after stretching, ms (<= deadline when the nominal
+  /// schedule was feasible).
+  double max_path_delay_ms = 0.0;
+};
+
+/// Common knobs.
+struct StretchOptions {
+  /// Guard against pathological path explosion.
+  std::size_t max_paths = 1 << 20;
+};
+
+/// The paper's online task stretching heuristic (Fig. 2). Requires a
+/// positive deadline on the schedule's graph. \p probs must cover every
+/// fork. Updates speed ratios in place and recomputes the schedule times.
+StretchStats StretchOnline(sched::Schedule& schedule,
+                           const ctg::BranchProbabilities& probs,
+                           const StretchOptions& options = {});
+
+/// Probability-blind slack distribution (Reference Algorithm 1 stage 2).
+StretchStats StretchProportional(sched::Schedule& schedule,
+                                 const StretchOptions& options = {});
+
+/// Configuration of the convex-solver stretcher.
+struct NlpOptions {
+  StretchOptions base;
+  /// Projected-gradient iterations.
+  int iterations = 4000;
+  /// Initial relative step size.
+  double initial_step = 0.05;
+  /// Feasibility sweeps per projection.
+  int projection_sweeps = 64;
+};
+
+/// Convex-solver stretching (Reference Algorithm 2 stage 2).
+StretchStats StretchNlp(sched::Schedule& schedule,
+                        const ctg::BranchProbabilities& probs,
+                        const NlpOptions& options = {});
+
+}  // namespace actg::dvfs
+
+#endif  // ACTG_DVFS_STRETCH_H

@@ -1,0 +1,54 @@
+/// \file text_format.h
+/// Line-oriented text serialization of CTGs and platforms.
+///
+/// Lets users keep task graphs and platform tables in version-controlled
+/// files instead of C++ builders, and lets experiments be re-run on
+/// externally produced graphs (e.g. converted from real TGFF output).
+///
+/// Format (one directive per line, '#' starts a comment):
+///
+///   ctg v1
+///   deadline <ms>
+///   task <name> <and|or>                      # index = order of appearance
+///   edge <src> <dst> <comm_kb> <outcome|->    # '-' = unconditional
+///   labels <fork> <label0> <label1> ...
+///   end
+///
+///   platform v1
+///   dims <tasks> <pes>
+///   pe <index> <name> <min_speed_ratio>
+///   levels <pe> <ratio> ...                   # optional discrete DVFS
+///   cost <task> <pe> <wcet_ms> <energy_mj>
+///   link <a> <b> <bandwidth_kb_per_ms> <tx_energy_mj_per_kb>
+///   end
+///
+/// Task and PE names must not contain whitespace.
+
+#ifndef ACTG_IO_TEXT_FORMAT_H
+#define ACTG_IO_TEXT_FORMAT_H
+
+#include <istream>
+#include <ostream>
+
+#include "arch/platform.h"
+#include "ctg/graph.h"
+
+namespace actg::io {
+
+/// Serializes \p graph. Throws actg::InvalidArgument if a task name
+/// contains whitespace.
+void WriteCtg(std::ostream& os, const ctg::Ctg& graph);
+
+/// Parses a CTG; throws actg::InvalidArgument with a line number on any
+/// malformed input, and re-validates the graph through CtgBuilder.
+ctg::Ctg ReadCtg(std::istream& is);
+
+/// Serializes \p platform.
+void WritePlatform(std::ostream& os, const arch::Platform& platform);
+
+/// Parses a platform; throws actg::InvalidArgument on malformed input.
+arch::Platform ReadPlatform(std::istream& is);
+
+}  // namespace actg::io
+
+#endif  // ACTG_IO_TEXT_FORMAT_H

@@ -1,0 +1,80 @@
+#include "profiling/window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace actg::profiling {
+
+SlidingWindowProfiler::SlidingWindowProfiler(const ctg::Ctg& graph,
+                                             std::size_t window)
+    : graph_(&graph), window_(window), buffers_(graph.task_count()) {
+  ACTG_CHECK(window_ >= 1, "Window length must be >= 1");
+}
+
+void SlidingWindowProfiler::Observe(TaskId fork, int outcome) {
+  ACTG_CHECK(graph_->IsFork(fork), "Observe: task is not a fork");
+  ACTG_CHECK(outcome >= 0 && outcome < graph_->OutcomeCount(fork),
+             "Observe: outcome out of range");
+  auto& buffer = buffers_[fork.index()];
+  buffer.push_back(outcome);
+  if (buffer.size() > window_) buffer.pop_front();
+}
+
+void SlidingWindowProfiler::ObserveInstance(
+    const ctg::ActivationAnalysis& analysis,
+    const ctg::BranchAssignment& assignment) {
+  for (TaskId fork : graph_->ForkIds()) {
+    if (!analysis.IsActive(fork, assignment)) continue;
+    const int outcome = assignment.Get(fork);
+    if (outcome >= 0) Observe(fork, outcome);
+  }
+}
+
+std::size_t SlidingWindowProfiler::Count(TaskId fork) const {
+  ACTG_CHECK(graph_->IsFork(fork), "Count: task is not a fork");
+  return buffers_[fork.index()].size();
+}
+
+double SlidingWindowProfiler::WindowedProbability(TaskId fork,
+                                                  int outcome) const {
+  const auto dist = WindowedDistribution(fork);
+  ACTG_CHECK(outcome >= 0 &&
+                 static_cast<std::size_t>(outcome) < dist.size(),
+             "WindowedProbability: outcome out of range");
+  return dist[static_cast<std::size_t>(outcome)];
+}
+
+std::vector<double> SlidingWindowProfiler::WindowedDistribution(
+    TaskId fork) const {
+  ACTG_CHECK(graph_->IsFork(fork),
+             "WindowedDistribution: task is not a fork");
+  const auto& buffer = buffers_[fork.index()];
+  ACTG_CHECK(!buffer.empty(),
+             "WindowedDistribution: no decisions buffered yet");
+  std::vector<double> dist(
+      static_cast<std::size_t>(graph_->OutcomeCount(fork)), 0.0);
+  for (int outcome : buffer) {
+    dist[static_cast<std::size_t>(outcome)] += 1.0;
+  }
+  for (double& p : dist) p /= static_cast<double>(buffer.size());
+  return dist;
+}
+
+void SlidingWindowProfiler::Reset() {
+  for (auto& buffer : buffers_) buffer.clear();
+}
+
+double DistributionDistance(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  ACTG_CHECK(a.size() == b.size(),
+             "DistributionDistance: arity mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace actg::profiling

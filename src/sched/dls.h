@@ -1,0 +1,62 @@
+/// \file dls.h
+/// Dynamic-level scheduling of CTGs (paper Section III.A, Eq. 1).
+///
+/// List scheduler after Sih & Lee [13], modified per the paper (and its
+/// companion [17]) to be conditional-task-graph aware:
+///   DL(τi, pj) = SL(τi) − AT(τi, pj) + δ(τi, pj)
+/// where SL is the (probability-weighted) static level, AT is the first
+/// time τi can start on pj given data arrival and the PE timeline, and
+/// δ is the difference between τi's PE-average WCET and its WCET on pj.
+/// Mutually exclusive tasks are allowed to occupy a PE at the same time
+/// ("mutual exclusive task may be able to start on the same processor
+/// during the same time").
+///
+/// The probability-blind, mutual-exclusion-blind configuration of the
+/// same machinery is the mapping/ordering stage of Reference Algorithm 1.
+
+#ifndef ACTG_SCHED_DLS_H
+#define ACTG_SCHED_DLS_H
+
+#include "arch/platform.h"
+#include "ctg/activation.h"
+#include "ctg/condition.h"
+#include "ctg/graph.h"
+#include "sched/schedule.h"
+#include "sched/static_level.h"
+
+namespace actg::sched {
+
+/// Configuration of the DLS machinery.
+struct DlsOptions {
+  /// SL combination policy at branch forks (probability-weighted for the
+  /// modified DLS, worst-case for Reference Algorithm 1).
+  LevelPolicy level_policy = LevelPolicy::kProbabilityWeighted;
+  /// When true, mutually exclusive tasks may overlap on one PE.
+  bool mutex_aware = true;
+  /// When set (one PE per task), the mapping is fixed and DLS only
+  /// performs the ordering. This models Reference Algorithm 1 [10],
+  /// which orders and stretches tasks on a *given* mapping ("tasks that
+  /// are mapped to the same processor are ordered for a maximum slack").
+  const std::vector<PeId>* fixed_mapping = nullptr;
+};
+
+/// A naive mapping for ordering-only baselines: tasks are assigned
+/// round-robin over the PEs in topological order (no communication or
+/// probability awareness).
+std::vector<PeId> RoundRobinMapping(const ctg::Ctg& graph,
+                                    const arch::Platform& platform);
+
+/// Runs DLS and returns the complete schedule (placements, commit order,
+/// communication windows, pseudo order edges; all speed ratios 1).
+///
+/// \p probs must cover every fork of the graph. The referenced objects
+/// must outlive the returned schedule.
+Schedule RunDls(const ctg::Ctg& graph,
+                const ctg::ActivationAnalysis& analysis,
+                const arch::Platform& platform,
+                const ctg::BranchProbabilities& probs,
+                const DlsOptions& options = {});
+
+}  // namespace actg::sched
+
+#endif  // ACTG_SCHED_DLS_H

@@ -1,0 +1,101 @@
+#include "sched/gantt.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace actg::sched {
+
+namespace {
+
+struct Row {
+  std::string cells;
+  double busy_until = -1.0;
+};
+
+}  // namespace
+
+void WriteGantt(std::ostream& os, const Schedule& schedule,
+                const GanttOptions& options) {
+  ACTG_CHECK(options.width >= 16, "Gantt width too small");
+  const ctg::Ctg& graph = schedule.graph();
+  const arch::Platform& platform = schedule.platform();
+  const double makespan = std::max(schedule.Makespan(), 1e-9);
+  const double scale = static_cast<double>(options.width) / makespan;
+
+  os << "Gantt (makespan " << std::fixed << std::setprecision(2)
+     << makespan << " ms, '" << '=' << "' = busy, scale " << options.width
+     << " cols):\n";
+
+  for (PeId pe : platform.PeIds()) {
+    // Collect this PE's tasks in start order.
+    std::vector<TaskId> tasks;
+    for (TaskId t : graph.TaskIds()) {
+      if (schedule.placement(t).pe == pe) tasks.push_back(t);
+    }
+    std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
+      return schedule.placement(a).start_ms <
+             schedule.placement(b).start_ms;
+    });
+
+    // Greedily pack tasks into sub-rows; overlapping (mutually
+    // exclusive) tasks spill into additional sub-rows.
+    std::vector<Row> rows;
+    std::vector<std::vector<std::pair<TaskId, Row*>>> placed;
+    for (TaskId t : tasks) {
+      const TaskPlacement& p = schedule.placement(t);
+      Row* row = nullptr;
+      if (options.expand_overlaps) {
+        for (Row& candidate : rows) {
+          if (candidate.busy_until <= p.start_ms + 1e-9) {
+            row = &candidate;
+            break;
+          }
+        }
+      } else if (!rows.empty()) {
+        row = &rows.front();
+      }
+      if (row == nullptr) {
+        rows.push_back(Row{std::string(
+                               static_cast<std::size_t>(options.width),
+                               ' '),
+                           -1.0});
+        row = &rows.back();
+      }
+      row->busy_until = std::max(row->busy_until, p.finish_ms);
+
+      const int begin = std::clamp(
+          static_cast<int>(p.start_ms * scale), 0, options.width - 1);
+      const int end = std::clamp(static_cast<int>(p.finish_ms * scale),
+                                 begin + 1, options.width);
+      for (int c = begin; c < end; ++c) {
+        row->cells[static_cast<std::size_t>(c)] = '=';
+      }
+      // Overlay the task name where it fits.
+      const std::string& name = graph.task(t).name;
+      for (std::size_t k = 0;
+           k < name.size() && begin + static_cast<int>(k) < end; ++k) {
+        row->cells[static_cast<std::size_t>(begin) + k] = name[k];
+      }
+    }
+
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r == 0) {
+        os << std::setw(6) << platform.pe(pe).name << " |";
+      } else {
+        os << "       |";  // overlap sub-row (mutually exclusive tasks)
+      }
+      os << rows[r].cells << "|\n";
+    }
+    if (rows.empty()) {
+      os << std::setw(6) << platform.pe(pe).name << " |"
+         << std::string(static_cast<std::size_t>(options.width), ' ')
+         << "|\n";
+    }
+  }
+}
+
+}  // namespace actg::sched

@@ -1,0 +1,31 @@
+/// \file gantt.h
+/// Text Gantt rendering of a schedule, for examples and debugging.
+
+#ifndef ACTG_SCHED_GANTT_H
+#define ACTG_SCHED_GANTT_H
+
+#include <ostream>
+
+#include "sched/schedule.h"
+
+namespace actg::sched {
+
+/// Options for the text Gantt chart.
+struct GanttOptions {
+  /// Total character width of the time axis.
+  int width = 72;
+  /// Show the mutually exclusive tasks that overlap on a PE on separate
+  /// sub-rows (they share the PE window; see paper Section III.A).
+  bool expand_overlaps = true;
+};
+
+/// Renders the schedule as one row (or more, when mutually exclusive
+/// tasks overlap) per PE, with task names placed proportionally to
+/// their start/finish times. Deterministic output, suitable for golden
+/// tests.
+void WriteGantt(std::ostream& os, const Schedule& schedule,
+                const GanttOptions& options = {});
+
+}  // namespace actg::sched
+
+#endif  // ACTG_SCHED_GANTT_H

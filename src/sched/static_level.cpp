@@ -1,0 +1,64 @@
+#include "sched/static_level.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace actg::sched {
+
+std::vector<double> ComputeStaticLevels(
+    const ctg::Ctg& graph, const arch::Platform& platform,
+    const ctg::BranchProbabilities& probs, LevelPolicy policy) {
+  ACTG_CHECK(platform.task_count() == graph.task_count(),
+             "Platform and graph disagree on the task count");
+  std::vector<double> levels(graph.task_count(), 0.0);
+
+  const auto& topo = graph.TopologicalOrder();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskId id = *it;
+    const double avg_wcet = platform.AverageWcet(id);
+    const auto& out = graph.OutEdges(id);
+    if (out.empty()) {
+      levels[id.index()] = avg_wcet;
+      continue;
+    }
+
+    const bool weighted = policy == LevelPolicy::kProbabilityWeighted &&
+                          graph.IsFork(id);
+    if (!weighted) {
+      double best = 0.0;
+      for (EdgeId eid : out) {
+        best = std::max(best, levels[graph.edge(eid).dst.index()]);
+      }
+      levels[id.index()] = avg_wcet + best;
+      continue;
+    }
+
+    // Branch fork with probability weighting: per-outcome max, weighted
+    // sum, floored by the best unconditional successor (which executes
+    // under every outcome).
+    const int arity = graph.OutcomeCount(id);
+    std::vector<double> per_outcome(static_cast<std::size_t>(arity), 0.0);
+    double unconditional = 0.0;
+    for (EdgeId eid : out) {
+      const ctg::Edge& e = graph.edge(eid);
+      const double successor_level = levels[e.dst.index()];
+      if (e.condition.has_value()) {
+        auto& slot =
+            per_outcome[static_cast<std::size_t>(e.condition->outcome)];
+        slot = std::max(slot, successor_level);
+      } else {
+        unconditional = std::max(unconditional, successor_level);
+      }
+    }
+    double expected = 0.0;
+    for (int o = 0; o < arity; ++o) {
+      expected += probs.Outcome(id, o) *
+                  per_outcome[static_cast<std::size_t>(o)];
+    }
+    levels[id.index()] = avg_wcet + std::max(expected, unconditional);
+  }
+  return levels;
+}
+
+}  // namespace actg::sched

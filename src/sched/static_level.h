@@ -1,0 +1,40 @@
+/// \file static_level.h
+/// Static levels SL(τ) for dynamic-level scheduling (paper Eq. 1).
+///
+/// SL is computed bottom-up over the CTG using the PE-average WCET at
+/// nominal speed (*WCET). At a non-branching node SL = *WCET + max over
+/// successor SLs. At a branch fork node the successor levels are combined
+/// per outcome and weighted by the outcome probabilities:
+/// SL = *WCET + Σ_o prob(o) · max over successors reachable under o.
+/// Unconditional successors of a fork participate in every outcome.
+///
+/// The probability-blind variant (used by Reference Algorithm 1) replaces
+/// the weighted sum by a plain max over all successors — the worst case.
+
+#ifndef ACTG_SCHED_STATIC_LEVEL_H
+#define ACTG_SCHED_STATIC_LEVEL_H
+
+#include <vector>
+
+#include "arch/platform.h"
+#include "ctg/condition.h"
+#include "ctg/graph.h"
+
+namespace actg::sched {
+
+/// How fork successors are combined into SL.
+enum class LevelPolicy {
+  kProbabilityWeighted,  ///< paper Eq. 1 (modified DLS)
+  kWorstCase,            ///< plain DLS, Reference Algorithm 1
+};
+
+/// Computes SL(τ) for every task. \p probs is only read under
+/// kProbabilityWeighted and must then cover every fork of the graph.
+std::vector<double> ComputeStaticLevels(const ctg::Ctg& graph,
+                                        const arch::Platform& platform,
+                                        const ctg::BranchProbabilities& probs,
+                                        LevelPolicy policy);
+
+}  // namespace actg::sched
+
+#endif  // ACTG_SCHED_STATIC_LEVEL_H

@@ -1,0 +1,74 @@
+#include "sim/energy.h"
+
+namespace actg::sim {
+
+namespace {
+
+/// Guard of the event "edge e transfers data": both endpoints active and
+/// the edge condition true.
+ctg::Guard EdgeGuard(const sched::Schedule& schedule, EdgeId eid) {
+  const ctg::Ctg& graph = schedule.graph();
+  const ctg::ActivationAnalysis& analysis = schedule.analysis();
+  const auto arity = graph.ArityFn();
+  const ctg::Edge& e = graph.edge(eid);
+  ctg::Guard guard = analysis.ActivationGuard(e.src).And(
+      analysis.ActivationGuard(e.dst), arity);
+  if (e.condition.has_value()) {
+    guard = guard.AndCondition(*e.condition, arity);
+  }
+  return guard;
+}
+
+}  // namespace
+
+double ExpectedComputeEnergy(const sched::Schedule& schedule,
+                             const ctg::BranchProbabilities& probs) {
+  const ctg::Ctg& graph = schedule.graph();
+  const ctg::ActivationAnalysis& analysis = schedule.analysis();
+  double total = 0.0;
+  for (TaskId task : graph.TaskIds()) {
+    total += analysis.ActivationProbability(task, probs) *
+             schedule.ScaledEnergy(task);
+  }
+  return total;
+}
+
+double ExpectedEnergy(const sched::Schedule& schedule,
+                      const ctg::BranchProbabilities& probs) {
+  const ctg::Ctg& graph = schedule.graph();
+  double total = ExpectedComputeEnergy(schedule, probs);
+  for (EdgeId eid : graph.EdgeIds()) {
+    const double energy = schedule.EdgeCommEnergy(eid);
+    if (energy <= 0.0) continue;
+    total += EdgeGuard(schedule, eid).Probability(probs) * energy;
+  }
+  return total;
+}
+
+double ScenarioEnergy(const sched::Schedule& schedule,
+                      const ctg::Minterm& scenario) {
+  const ctg::Ctg& graph = schedule.graph();
+  const ctg::ActivationAnalysis& analysis = schedule.analysis();
+  double total = 0.0;
+  for (TaskId task : graph.TaskIds()) {
+    if (analysis.IsActive(task, scenario)) {
+      total += schedule.ScaledEnergy(task);
+    }
+  }
+  for (EdgeId eid : graph.EdgeIds()) {
+    const double energy = schedule.EdgeCommEnergy(eid);
+    if (energy <= 0.0) continue;
+    const ctg::Guard guard = EdgeGuard(schedule, eid);
+    bool active = false;
+    for (const ctg::Minterm& m : guard.minterms()) {
+      if (scenario.Implies(m)) {
+        active = true;
+        break;
+      }
+    }
+    if (active) total += energy;
+  }
+  return total;
+}
+
+}  // namespace actg::sim

@@ -1,0 +1,111 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace actg::sim {
+
+InstanceResult ExecuteInstance(const sched::Schedule& schedule,
+                               const ctg::BranchAssignment& assignment) {
+  const ctg::Ctg& graph = schedule.graph();
+  const ctg::ActivationAnalysis& analysis = schedule.analysis();
+  const std::size_t n = graph.task_count();
+  ACTG_CHECK(assignment.size() == n,
+             "Assignment size does not match the graph");
+
+  std::vector<bool> active(n, false);
+  InstanceResult result;
+  for (TaskId task : graph.TaskIds()) {
+    active[task.index()] = analysis.IsActive(task, assignment);
+    if (active[task.index()]) ++result.active_tasks;
+  }
+
+  // Actual start times: ASAP over the scheduled DAG restricted to active
+  // tasks. The scheduled DAG is acyclic, so a Kahn pass suffices; we
+  // reuse the adjacency built by the schedule.
+  const sched::Schedule::DagAdjacency adj = schedule.BuildDagAdjacency();
+  std::vector<int> in_degree(n, 0);
+  for (const auto& out : adj) {
+    for (const auto& [dst, eid] : out) ++in_degree[dst.index()];
+  }
+  std::vector<TaskId> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) order.push_back(TaskId{static_cast<int>(i)});
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const auto& [dst, eid] : adj[order[head].index()]) {
+      if (--in_degree[dst.index()] == 0) order.push_back(dst);
+    }
+  }
+  ACTG_ASSERT(order.size() == n, "scheduled DAG contains a cycle");
+
+  std::vector<double> ready(n, 0.0);
+  std::vector<double> finish(n, 0.0);
+  for (const TaskId u : order) {
+    if (!active[u.index()]) continue;
+    const double start = ready[u.index()];
+    finish[u.index()] = start + schedule.ScaledWcet(u);
+    result.energy_mj += schedule.ScaledEnergy(u);
+    result.makespan_ms = std::max(result.makespan_ms, finish[u.index()]);
+    for (const auto& [dst, eid] : adj[u.index()]) {
+      if (!active[dst.index()]) continue;
+      double arrival = finish[u.index()];
+      if (eid.has_value()) {
+        const ctg::Edge& e = graph.edge(*eid);
+        if (e.condition.has_value() &&
+            assignment.Get(e.condition->fork) != e.condition->outcome) {
+          continue;  // edge not taken in this instance
+        }
+        arrival += schedule.EdgeCommTime(*eid);
+        result.energy_mj += schedule.EdgeCommEnergy(*eid);
+      }
+      ready[dst.index()] = std::max(ready[dst.index()], arrival);
+    }
+  }
+
+  if (graph.deadline_ms() > 0.0) {
+    result.deadline_met = result.makespan_ms <= graph.deadline_ms() + 1e-6;
+  }
+  return result;
+}
+
+void RunSummary::Add(const InstanceResult& r) {
+  ++instances;
+  total_energy_mj += r.energy_mj;
+  if (!r.deadline_met) ++deadline_misses;
+  max_makespan_ms = std::max(max_makespan_ms, r.makespan_ms);
+}
+
+RunSummary RunTrace(const sched::Schedule& schedule,
+                    const trace::BranchTrace& trace) {
+  RunSummary summary;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    summary.Add(ExecuteInstance(schedule, trace.At(i)));
+  }
+  return summary;
+}
+
+ctg::BranchAssignment AssignmentFromScenario(const ctg::Ctg& graph,
+                                             const ctg::Minterm& scenario) {
+  ctg::BranchAssignment assignment(graph.task_count());
+  for (const ctg::Condition& c : scenario.conditions()) {
+    assignment.Set(c.fork, c.outcome);
+  }
+  return assignment;
+}
+
+double MaxScenarioMakespan(const sched::Schedule& schedule) {
+  const ctg::Ctg& graph = schedule.graph();
+  double worst = 0.0;
+  for (const ctg::Minterm& scenario :
+       schedule.analysis().EnumerateScenarioAssignments()) {
+    const InstanceResult result = ExecuteInstance(
+        schedule, AssignmentFromScenario(graph, scenario));
+    worst = std::max(worst, result.makespan_ms);
+  }
+  return worst;
+}
+
+}  // namespace actg::sim

@@ -1,0 +1,71 @@
+/// \file executor.h
+/// Instance-level execution of a scheduled CTG.
+///
+/// Given a schedule and one branch decision vector, determines the active
+/// task set, the energy actually consumed at the scheduled speeds, and
+/// the actual completion time (tasks start as soon as their *active*
+/// scheduled-DAG predecessors finish; or-nodes additionally wait for the
+/// forks that decide their activating alternative — paper Example 1).
+
+#ifndef ACTG_SIM_EXECUTOR_H
+#define ACTG_SIM_EXECUTOR_H
+
+#include <vector>
+
+#include "ctg/condition.h"
+#include "sched/schedule.h"
+#include "trace/trace.h"
+
+namespace actg::sim {
+
+/// Outcome of executing one CTG instance.
+struct InstanceResult {
+  /// Energy consumed by active tasks and transfers, mJ.
+  double energy_mj = 0.0;
+  /// Completion time of the last active task, ms.
+  double makespan_ms = 0.0;
+  /// True when makespan <= the graph deadline.
+  bool deadline_met = true;
+  /// Number of tasks activated by this instance.
+  std::size_t active_tasks = 0;
+};
+
+/// Executes one instance of the schedule under \p assignment.
+InstanceResult ExecuteInstance(const sched::Schedule& schedule,
+                               const ctg::BranchAssignment& assignment);
+
+/// Aggregate of a whole trace run.
+struct RunSummary {
+  std::size_t instances = 0;
+  double total_energy_mj = 0.0;
+  std::size_t deadline_misses = 0;
+  double max_makespan_ms = 0.0;
+
+  double AverageEnergy() const {
+    return instances == 0 ? 0.0
+                          : total_energy_mj /
+                                static_cast<double>(instances);
+  }
+  void Add(const InstanceResult& r);
+};
+
+/// Runs every instance of \p trace against a fixed schedule (the
+/// non-adaptive / "online" configuration of Section IV).
+RunSummary RunTrace(const sched::Schedule& schedule,
+                    const trace::BranchTrace& trace);
+
+/// Converts a scenario minterm into a full branch assignment (forks the
+/// scenario leaves unresolved stay unset; they are inactive and their
+/// outcome can never matter).
+ctg::BranchAssignment AssignmentFromScenario(const ctg::Ctg& graph,
+                                             const ctg::Minterm& scenario);
+
+/// Worst completion time over every execution scenario of the graph.
+/// This — not the all-tasks static makespan, which superimposes
+/// mutually exclusive tasks — is the quantity the deadline guarantee of
+/// the stretching algorithms applies to.
+double MaxScenarioMakespan(const sched::Schedule& schedule);
+
+}  // namespace actg::sim
+
+#endif  // ACTG_SIM_EXECUTOR_H

@@ -1,0 +1,184 @@
+/// \file generators.h
+/// Synthetic branch-decision processes (DESIGN.md substitution #1).
+///
+/// The paper drives its experiments with branch decisions extracted from
+/// real MPEG movie clips and from simulated vehicle runs. Those artifacts
+/// are not available, so we synthesize decision processes with the
+/// statistics the paper reports: slowly drifting probabilities with local
+/// fluctuation (average per-branch fluctuation 0.4-0.5), occasional scene
+/// changes, and piecewise road-condition regimes.
+///
+/// Every process produces, per CTG instance, the instantaneous outcome
+/// distribution of one fork; the trace generator samples an outcome from
+/// it. The instantaneous distributions are recorded so figures (e.g.
+/// Fig. 4) can plot ground truth against windowed estimates.
+
+#ifndef ACTG_TRACE_GENERATORS_H
+#define ACTG_TRACE_GENERATORS_H
+
+#include <memory>
+#include <vector>
+
+#include "ctg/graph.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace actg::trace {
+
+/// A time-varying outcome distribution for one branch fork.
+class ProbabilityProcess {
+ public:
+  virtual ~ProbabilityProcess() = default;
+
+  /// Advances the process one CTG instance and returns the current
+  /// outcome distribution (non-negative, sums to 1).
+  virtual std::vector<double> Step(util::Random& rng) = 0;
+
+  /// Number of outcomes of the fork this process drives.
+  virtual int outcome_count() const = 0;
+};
+
+/// Fixed distribution (stationary branch).
+class ConstantProcess final : public ProbabilityProcess {
+ public:
+  explicit ConstantProcess(std::vector<double> dist);
+  std::vector<double> Step(util::Random& rng) override;
+  int outcome_count() const override {
+    return static_cast<int>(dist_.size());
+  }
+
+ private:
+  std::vector<double> dist_;
+};
+
+/// Bounded-random-walk weights with occasional jumps ("scene changes").
+/// Each outcome carries a weight that takes Gaussian steps and reflects
+/// at [floor, 1]; the distribution is the normalized weight vector. With
+/// probability jump_probability per step all weights are redrawn
+/// uniformly — modelling a visual scene change in an MPEG stream.
+class RandomWalkProcess final : public ProbabilityProcess {
+ public:
+  struct Params {
+    std::vector<double> initial_weights;  ///< one per outcome, in [floor,1]
+    double step_sigma = 0.03;             ///< per-step Gaussian step size
+    double jump_probability = 0.0;        ///< scene-change rate
+    double floor = 0.05;                  ///< smallest weight
+  };
+
+  explicit RandomWalkProcess(Params params);
+  std::vector<double> Step(util::Random& rng) override;
+  int outcome_count() const override {
+    return static_cast<int>(weights_.size());
+  }
+
+ private:
+  Params params_;
+  std::vector<double> weights_;
+};
+
+/// Piecewise-constant regimes (e.g. road conditions for the cruise
+/// controller: uphill / downhill / straight / bumpy). Each regime holds a
+/// fixed distribution for a fixed number of instances; regimes repeat
+/// cyclically.
+class PiecewiseProcess final : public ProbabilityProcess {
+ public:
+  struct Regime {
+    std::vector<double> dist;
+    std::size_t length = 1;
+  };
+
+  explicit PiecewiseProcess(std::vector<Regime> regimes);
+  std::vector<double> Step(util::Random& rng) override;
+  int outcome_count() const override;
+
+ private:
+  std::vector<Regime> regimes_;
+  std::size_t regime_ = 0;
+  std::size_t step_in_regime_ = 0;
+};
+
+/// Sinusoidal oscillation of a two-outcome distribution around a center
+/// value: p0(t) = center + amplitude * sin(2*pi*t/period + phase). The
+/// long-run average equals the center — this is the "average
+/// probabilities equal but with considerable fluctuation" process used
+/// for Tables 4 and 5.
+class SinusoidProcess final : public ProbabilityProcess {
+ public:
+  struct Params {
+    int outcomes = 2;
+    double center = 0.5;      ///< long-run average of outcome 0
+    double amplitude = 0.22;  ///< paper: fluctuation 0.4-0.5 peak-to-peak
+    double period = 200.0;    ///< instances per full oscillation
+    double phase = 0.0;
+  };
+
+  explicit SinusoidProcess(Params params);
+  std::vector<double> Step(util::Random& rng) override;
+  int outcome_count() const override { return params_.outcomes; }
+
+ private:
+  Params params_;
+  std::size_t t_ = 0;
+};
+
+/// Markov-modulated process: a hidden state chain (e.g. "static scene" /
+/// "panning" / "scene cut" in a video) where each state carries its own
+/// outcome distribution and the state itself evolves by a transition
+/// matrix each instance. Unlike PiecewiseProcess the regime durations
+/// are random (geometric), and unlike RandomWalkProcess the distribution
+/// jumps between a small set of modes — the combination found in real
+/// encoded video.
+class MarkovProcess final : public ProbabilityProcess {
+ public:
+  struct Params {
+    /// Per-state outcome distributions (all the same arity).
+    std::vector<std::vector<double>> state_dists;
+    /// Row-stochastic transition matrix, state_dists.size() square.
+    std::vector<std::vector<double>> transitions;
+    /// Initial hidden state.
+    std::size_t initial_state = 0;
+  };
+
+  explicit MarkovProcess(Params params);
+  std::vector<double> Step(util::Random& rng) override;
+  int outcome_count() const override;
+
+  /// Current hidden state (after the last Step).
+  std::size_t state() const { return state_; }
+
+ private:
+  Params params_;
+  std::size_t state_;
+};
+
+/// Samples a BranchTrace of a CTG by stepping one ProbabilityProcess per
+/// fork and drawing each fork's outcome independently per instance.
+/// Records the instantaneous distributions for inspection.
+class TraceGenerator {
+ public:
+  /// Binds the generator to \p graph (must outlive the generator).
+  explicit TraceGenerator(const ctg::Ctg& graph);
+
+  /// Installs the process driving \p fork. Every fork must have exactly
+  /// one process before Generate is called.
+  void SetProcess(TaskId fork, std::unique_ptr<ProbabilityProcess> process);
+
+  /// True when every fork of the graph has a process installed.
+  bool Complete() const;
+
+  /// Generates \p instances decision vectors.
+  BranchTrace Generate(std::size_t instances, util::Random& rng);
+
+  /// Instantaneous probability of outcome 0 for \p fork at every step of
+  /// the most recent Generate call.
+  const std::vector<double>& TrueProbabilityHistory(TaskId fork) const;
+
+ private:
+  const ctg::Ctg* graph_;
+  std::vector<std::unique_ptr<ProbabilityProcess>> processes_;  // by task
+  std::vector<std::vector<double>> prob_history_;               // by task
+};
+
+}  // namespace actg::trace
+
+#endif  // ACTG_TRACE_GENERATORS_H

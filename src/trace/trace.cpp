@@ -1,0 +1,70 @@
+#include "trace/trace.h"
+
+#include "util/error.h"
+
+namespace actg::trace {
+
+void BranchTrace::Append(ctg::BranchAssignment assignment) {
+  ACTG_CHECK(assignment.size() == task_count_,
+             "Assignment size does not match the trace's task count");
+  instances_.push_back(std::move(assignment));
+}
+
+const ctg::BranchAssignment& BranchTrace::At(std::size_t i) const {
+  ACTG_CHECK(i < instances_.size(), "Trace instance index out of range");
+  return instances_[i];
+}
+
+double BranchTrace::EmpiricalProbability(TaskId fork, int outcome,
+                                         std::size_t begin,
+                                         std::size_t end) const {
+  ACTG_CHECK(begin <= end && end <= instances_.size(),
+             "Invalid trace range");
+  std::size_t resolved = 0;
+  std::size_t hits = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const int selected = instances_[i].Get(fork);
+    if (selected < 0) continue;
+    ++resolved;
+    if (selected == outcome) ++hits;
+  }
+  if (resolved == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(resolved);
+}
+
+BranchTrace BranchTrace::Slice(std::size_t begin, std::size_t end) const {
+  ACTG_CHECK(begin <= end && end <= instances_.size(),
+             "Invalid trace range");
+  BranchTrace out(task_count_);
+  for (std::size_t i = begin; i < end; ++i) out.Append(instances_[i]);
+  return out;
+}
+
+ctg::BranchProbabilities BranchTrace::ProfiledProbabilities(
+    const ctg::Ctg& graph) const {
+  ACTG_CHECK(graph.task_count() == task_count_,
+             "Graph does not match the trace's task count");
+  ctg::BranchProbabilities probs(task_count_);
+  for (TaskId fork : graph.ForkIds()) {
+    const int arity = graph.OutcomeCount(fork);
+    std::vector<double> dist(static_cast<std::size_t>(arity), 0.0);
+    std::size_t resolved = 0;
+    for (const auto& instance : instances_) {
+      const int selected = instance.Get(fork);
+      if (selected < 0) continue;
+      ACTG_CHECK(selected < arity, "Trace outcome exceeds fork arity");
+      ++resolved;
+      dist[static_cast<std::size_t>(selected)] += 1.0;
+    }
+    if (resolved == 0) {
+      // Never observed: fall back to a uniform prior.
+      for (double& p : dist) p = 1.0 / static_cast<double>(arity);
+    } else {
+      for (double& p : dist) p /= static_cast<double>(resolved);
+    }
+    probs.Set(fork, std::move(dist));
+  }
+  return probs;
+}
+
+}  // namespace actg::trace

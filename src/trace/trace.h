@@ -1,0 +1,67 @@
+/// \file trace.h
+/// Branch decision traces (paper Section IV).
+///
+/// The paper's experiments drive every algorithm with sequences of branch
+/// decision vectors: "The decisions of branches a~h are encoded as a
+/// vector <x1, x2, ..., xn>. The ith position of such vector indicates
+/// the branch decision for the ith branching node in the graph."
+/// A BranchTrace stores one BranchAssignment per CTG instance.
+
+#ifndef ACTG_TRACE_TRACE_H
+#define ACTG_TRACE_TRACE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "ctg/condition.h"
+#include "ctg/graph.h"
+
+namespace actg::trace {
+
+/// A sequence of branch decision vectors, one per CTG instance.
+class BranchTrace {
+ public:
+  BranchTrace() = default;
+
+  /// Creates an empty trace whose assignments cover \p task_count tasks.
+  explicit BranchTrace(std::size_t task_count) : task_count_(task_count) {}
+
+  /// Appends the decision vector of one CTG instance.
+  void Append(ctg::BranchAssignment assignment);
+
+  /// Decision vector of instance \p i.
+  const ctg::BranchAssignment& At(std::size_t i) const;
+
+  std::size_t size() const { return instances_.size(); }
+  bool empty() const { return instances_.empty(); }
+  std::size_t task_count() const { return task_count_; }
+
+  /// Empirical probability that \p fork selected \p outcome over the
+  /// instance range [begin, end). Instances where the fork is unresolved
+  /// (outcome -1) are excluded from the denominator; returns 0 when no
+  /// instance resolves the fork.
+  double EmpiricalProbability(TaskId fork, int outcome, std::size_t begin,
+                              std::size_t end) const;
+
+  /// Empirical probability over the whole trace.
+  double EmpiricalProbability(TaskId fork, int outcome) const {
+    return EmpiricalProbability(fork, outcome, 0, size());
+  }
+
+  /// Sub-trace [begin, end).
+  BranchTrace Slice(std::size_t begin, std::size_t end) const;
+
+  /// Branch probabilities profiled from the whole trace for every fork
+  /// of \p graph (the paper's "profiled average branch probability").
+  /// Forks never resolved in the trace get a uniform distribution.
+  ctg::BranchProbabilities ProfiledProbabilities(
+      const ctg::Ctg& graph) const;
+
+ private:
+  std::size_t task_count_ = 0;
+  std::vector<ctg::BranchAssignment> instances_;
+};
+
+}  // namespace actg::trace
+
+#endif  // ACTG_TRACE_TRACE_H

@@ -1,0 +1,39 @@
+#include "util/csv.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace actg::util {
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os_ << ',';
+    os_ << Escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& cells, int decimals) {
+  std::ostringstream row;
+  row << std::fixed << std::setprecision(decimals);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) row << ',';
+    row << cells[i];
+  }
+  os_ << row.str() << '\n';
+}
+
+}  // namespace actg::util

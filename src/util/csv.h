@@ -1,0 +1,34 @@
+/// \file csv.h
+/// Minimal CSV writer used to dump figure series (e.g. the Fig. 4 branch
+/// probability traces) for external plotting.
+
+#ifndef ACTG_UTIL_CSV_H
+#define ACTG_UTIL_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace actg::util {
+
+/// Writes rows of cells as RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes or newlines; doubles embedded quotes).
+class CsvWriter {
+ public:
+  /// Binds the writer to an output stream; the stream must outlive it.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row of raw string cells.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Writes one row of numeric cells with the given decimal precision.
+  void WriteRow(const std::vector<double>& cells, int decimals = 6);
+
+ private:
+  static std::string Escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+}  // namespace actg::util
+
+#endif  // ACTG_UTIL_CSV_H

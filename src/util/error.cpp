@@ -1,0 +1,27 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace actg::detail {
+
+namespace {
+std::string Format(const char* file, int line, const char* expr,
+                   const std::string& message) {
+  std::ostringstream os;
+  os << message << " [failed: " << expr << " at " << file << ":" << line
+     << "]";
+  return os.str();
+}
+}  // namespace
+
+void ThrowInvalidArgument(const char* file, int line, const char* expr,
+                          const std::string& message) {
+  throw InvalidArgument(Format(file, line, expr, message));
+}
+
+void ThrowInternalError(const char* file, int line, const char* expr,
+                        const std::string& message) {
+  throw InternalError(Format(file, line, expr, message));
+}
+
+}  // namespace actg::detail

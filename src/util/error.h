@@ -1,0 +1,68 @@
+/// \file error.h
+/// Error handling for the actg library.
+///
+/// Following the C++ Core Guidelines (E.2), errors that a caller cannot
+/// reasonably be expected to recover from locally are reported with
+/// exceptions. All exceptions thrown by this library derive from
+/// actg::Error so that callers can establish a single catch boundary.
+
+#ifndef ACTG_UTIL_ERROR_H
+#define ACTG_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace actg {
+
+/// Base class of every exception thrown by the actg library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when input data (a graph, a platform, a trace, ...) violates a
+/// documented precondition of the API that received it.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant of the library is violated. Seeing
+/// this exception indicates a bug in actg itself, not in caller code.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void ThrowInvalidArgument(const char* file, int line,
+                                       const char* expr,
+                                       const std::string& message);
+[[noreturn]] void ThrowInternalError(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message);
+}  // namespace detail
+
+}  // namespace actg
+
+/// Validates a documented precondition; throws actg::InvalidArgument with
+/// location information when the condition does not hold.
+#define ACTG_CHECK(cond, message)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::actg::detail::ThrowInvalidArgument(__FILE__, __LINE__, #cond,   \
+                                           (message));                 \
+    }                                                                   \
+  } while (false)
+
+/// Validates an internal invariant; throws actg::InternalError when the
+/// condition does not hold. Used where a failure indicates a library bug.
+#define ACTG_ASSERT(cond, message)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::actg::detail::ThrowInternalError(__FILE__, __LINE__, #cond,    \
+                                         (message));                  \
+    }                                                                  \
+  } while (false)
+
+#endif  // ACTG_UTIL_ERROR_H

@@ -1,0 +1,135 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace actg::util {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+}
+
+std::uint64_t Xoshiro256::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256::Jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      Next();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
+double Random::UniformUnit() {
+  // 53 high bits -> double in [0, 1) with full mantissa resolution.
+  return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;
+}
+
+double Random::Uniform(double lo, double hi) {
+  ACTG_CHECK(lo <= hi, "Uniform requires lo <= hi");
+  return lo + (hi - lo) * UniformUnit();
+}
+
+int Random::UniformInt(int lo, int hi) {
+  ACTG_CHECK(lo <= hi, "UniformInt requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL / span) * span;
+  std::uint64_t draw;
+  do {
+    draw = engine_.Next();
+  } while (draw >= limit);
+  return lo + static_cast<int>(draw % span);
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformUnit() < p;
+}
+
+double Random::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+std::size_t Random::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    ACTG_CHECK(w >= 0.0, "Categorical weights must be non-negative");
+    total += w;
+  }
+  ACTG_CHECK(total > 0.0, "Categorical requires a positive total weight");
+  double target = UniformUnit() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // Guard against accumulated rounding.
+}
+
+std::vector<std::size_t> Random::Permutation(std::size_t n) {
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        UniformInt(0, static_cast<int>(i) - 1));
+    std::swap(indices[i - 1], indices[j]);
+  }
+  return indices;
+}
+
+}  // namespace actg::util

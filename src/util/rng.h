@@ -1,0 +1,84 @@
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// Experiments in this library must be exactly reproducible across
+/// platforms and standard-library implementations, so we implement the
+/// xoshiro256** generator and all distributions ourselves instead of
+/// relying on std::mt19937 + std:: distributions (whose outputs are not
+/// specified portably for the distribution layer).
+
+#ifndef ACTG_UTIL_RNG_H
+#define ACTG_UTIL_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace actg::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation re-expressed in C++). 256 bits of state, period 2^256-1.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state from a single 64-bit value via SplitMix64, which is
+  /// the seeding procedure recommended by the xoshiro authors.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t Next();
+
+  /// UniformRandomBitGenerator interface so the engine composes with
+  /// standard algorithms such as std::shuffle.
+  std::uint64_t operator()() { return Next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Jump function: advances the state by 2^128 steps, for partitioning a
+  /// single stream into non-overlapping substreams.
+  void Jump();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Convenience distribution layer on top of Xoshiro256. All methods are
+/// deterministic functions of the engine state.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double UniformUnit();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Bernoulli draw: true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via the Marsaglia polar method.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Draws an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Requires at least one strictly positive weight.
+  std::size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of an index vector [0, n).
+  std::vector<std::size_t> Permutation(std::size_t n);
+
+  Xoshiro256& engine() { return engine_; }
+
+ private:
+  Xoshiro256 engine_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace actg::util
+
+#endif  // ACTG_UTIL_RNG_H

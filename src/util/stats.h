@@ -1,0 +1,61 @@
+/// \file stats.h
+/// Streaming statistics accumulators used by the simulator and benches.
+
+#ifndef ACTG_UTIL_STATS_H
+#define ACTG_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace actg::util {
+
+/// Numerically stable streaming accumulator (Welford's algorithm) for
+/// mean / variance / extrema of a sequence of observations.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added so far.
+  std::size_t count() const { return count_; }
+
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_;
+  double max_;
+};
+
+/// Exact quantile of a sample (linear interpolation between order
+/// statistics). \p q must lie in [0, 1]; \p values must be non-empty.
+double Quantile(std::vector<double> values, double q);
+
+/// Arithmetic mean of a non-empty vector.
+double Mean(const std::vector<double>& values);
+
+}  // namespace actg::util
+
+#endif  // ACTG_UTIL_STATS_H

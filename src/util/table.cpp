@@ -1,0 +1,97 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace actg::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  ACTG_CHECK(!headers_.empty(), "A table needs at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  ACTG_CHECK(cells.size() == headers_.size(),
+             "Row width must match the header width");
+  rows_.push_back(std::move(cells));
+}
+
+TablePrinter& TablePrinter::BeginRow() {
+  FlushRow();
+  row_open_ = true;
+  pending_.clear();
+  return *this;
+}
+
+TablePrinter& TablePrinter::Cell(const std::string& value) {
+  ACTG_CHECK(row_open_, "Cell() before BeginRow()");
+  pending_.push_back(value);
+  return *this;
+}
+
+TablePrinter& TablePrinter::Cell(const char* value) {
+  return Cell(std::string(value));
+}
+
+TablePrinter& TablePrinter::Cell(double value, int decimals) {
+  return Cell(Format(value, decimals));
+}
+
+TablePrinter& TablePrinter::Cell(int value) {
+  return Cell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::Cell(std::size_t value) {
+  return Cell(std::to_string(value));
+}
+
+void TablePrinter::FlushRow() {
+  if (row_open_) {
+    AddRow(pending_);
+    pending_.clear();
+    row_open_ = false;
+  }
+}
+
+std::string TablePrinter::Format(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+void TablePrinter::Print(std::ostream& os) {
+  FlushRow();
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  const std::string rule(std::max<std::size_t>(title.size() + 4, 60), '=');
+  os << '\n' << rule << '\n' << "  " << title << '\n' << rule << '\n';
+}
+
+}  // namespace actg::util

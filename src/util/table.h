@@ -1,0 +1,55 @@
+/// \file table.h
+/// Console table rendering used by the benchmark harnesses to print the
+/// paper's tables in a readable aligned format.
+
+#ifndef ACTG_UTIL_TABLE_H
+#define ACTG_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace actg::util {
+
+/// Builds a text table row by row and renders it with per-column
+/// alignment. Cells are strings; numeric helpers format with a fixed
+/// number of decimals.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a fully formed row. Must have exactly one cell per column.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Begins a new row to be filled with the Cell() helpers.
+  TablePrinter& BeginRow();
+  TablePrinter& Cell(const std::string& value);
+  TablePrinter& Cell(const char* value);
+  TablePrinter& Cell(double value, int decimals = 2);
+  TablePrinter& Cell(int value);
+  TablePrinter& Cell(std::size_t value);
+
+  /// Renders the table (header, separator, rows) to the stream. A row
+  /// under construction is flushed first.
+  void Print(std::ostream& os);
+
+  /// Formats a double with fixed decimals (shared helper).
+  static std::string Format(double value, int decimals);
+
+ private:
+  void FlushRow();
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+  bool row_open_ = false;
+};
+
+/// Prints a section banner (title between rules) used to separate the
+/// reproduced tables/figures in bench output.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace actg::util
+
+#endif  // ACTG_UTIL_TABLE_H

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adaptive/controller.h"
+#include "apps/common.h"
+#include "dvfs/stretch.h"
+#include "apps/fig1_example.h"
+#include "sim/energy.h"
+#include "tgff/random_ctg.h"
+#include "trace/generators.h"
+#include "util/error.h"
+
+namespace actg::adaptive {
+namespace {
+
+class AdaptiveFixture : public ::testing::Test {
+ protected:
+  AdaptiveFixture() : ex_(apps::MakeFig1Example()), analysis_(ex_.graph) {}
+
+  AdaptiveController MakeController(double threshold,
+                                    std::size_t window = 8) {
+    AdaptiveOptions options;
+    options.window = window;
+    options.threshold = threshold;
+    return AdaptiveController(ex_.graph, analysis_, ex_.platform,
+                              ex_.probs, options);
+  }
+
+  ctg::BranchAssignment Assign(int a, int b) const {
+    ctg::BranchAssignment asg(ex_.graph.task_count());
+    if (a >= 0) asg.Set(ex_.tau(3), a);
+    if (b >= 0) asg.Set(ex_.tau(5), b);
+    return asg;
+  }
+
+  apps::Fig1Example ex_;
+  ctg::ActivationAnalysis analysis_;
+};
+
+TEST_F(AdaptiveFixture, StartsWithInitialProbabilitiesAndZeroCalls) {
+  AdaptiveController ctrl = MakeController(0.1);
+  EXPECT_EQ(ctrl.reschedule_count(), 0u);
+  EXPECT_NEAR(ctrl.in_use_probabilities().Outcome(ex_.tau(3), 0), 0.4,
+              1e-12);
+}
+
+TEST_F(AdaptiveFixture, NoAdaptationBeforeWindowFills) {
+  AdaptiveController ctrl = MakeController(0.05, /*window=*/16);
+  for (int i = 0; i < 15; ++i) ctrl.ProcessInstance(Assign(1, 1));
+  EXPECT_EQ(ctrl.reschedule_count(), 0u);
+}
+
+TEST_F(AdaptiveFixture, AdaptsWhenDistributionShifts) {
+  // Initial prob(a1)=0.4; feed pure a2 -> windowed prob(a1)=0, drift 0.4.
+  AdaptiveController ctrl = MakeController(0.2, /*window=*/8);
+  for (int i = 0; i < 10; ++i) ctrl.ProcessInstance(Assign(1, 0));
+  EXPECT_GE(ctrl.reschedule_count(), 1u);
+  EXPECT_NEAR(ctrl.in_use_probabilities().Outcome(ex_.tau(3), 0), 0.0,
+              1e-12);
+}
+
+TEST_F(AdaptiveFixture, NoAdaptationWhenTraceMatchesProfile) {
+  // Deterministic alternation approximating prob(a1)=0.4 within the
+  // threshold: pattern of 2 a1 in every 5.
+  AdaptiveController ctrl = MakeController(0.25, /*window=*/10);
+  for (int i = 0; i < 60; ++i) {
+    ctrl.ProcessInstance(Assign(i % 5 < 2 ? 0 : 1, i % 2));
+  }
+  EXPECT_EQ(ctrl.reschedule_count(), 0u);
+}
+
+TEST_F(AdaptiveFixture, LowerThresholdNeverFewerCalls) {
+  util::Random rng(31);
+  std::vector<ctg::BranchAssignment> instances;
+  for (int i = 0; i < 150; ++i) {
+    // Slow drift from mostly-a1 to mostly-a2.
+    const double p_a1 = 0.9 - 0.8 * i / 150.0;
+    instances.push_back(
+        Assign(rng.Bernoulli(p_a1) ? 0 : 1, rng.Bernoulli(0.5) ? 0 : 1));
+  }
+  AdaptiveController loose = MakeController(0.4);
+  AdaptiveController tight = MakeController(0.05);
+  for (const auto& asg : instances) {
+    loose.ProcessInstance(asg);
+    tight.ProcessInstance(asg);
+  }
+  EXPECT_GE(tight.reschedule_count(), loose.reschedule_count());
+  EXPECT_GE(tight.reschedule_count(), 1u);
+}
+
+TEST_F(AdaptiveFixture, RescheduleKeepsDeadline) {
+  AdaptiveController ctrl = MakeController(0.1, /*window=*/6);
+  for (int i = 0; i < 40; ++i) {
+    const auto result = ctrl.ProcessInstance(Assign(i % 2, (i / 2) % 2));
+    EXPECT_TRUE(result.deadline_met) << "instance " << i;
+  }
+  ctrl.current_schedule().Validate();
+}
+
+TEST_F(AdaptiveFixture, InvalidThresholdRejected) {
+  AdaptiveOptions options;
+  options.threshold = 0.0;
+  EXPECT_THROW(AdaptiveController(ex_.graph, analysis_, ex_.platform,
+                                  ex_.probs, options),
+               InvalidArgument);
+  options.threshold = 1.5;
+  EXPECT_THROW(AdaptiveController(ex_.graph, analysis_, ex_.platform,
+                                  ex_.probs, options),
+               InvalidArgument);
+}
+
+TEST_F(AdaptiveFixture, RunAdaptiveMatchesManualLoop) {
+  trace::BranchTrace trace(ex_.graph.task_count());
+  util::Random rng(5);
+  for (int i = 0; i < 50; ++i) {
+    trace.Append(
+        Assign(rng.Bernoulli(0.5) ? 0 : 1, rng.Bernoulli(0.5) ? 0 : 1));
+  }
+  AdaptiveController a = MakeController(0.1);
+  AdaptiveController b = MakeController(0.1);
+  const sim::RunSummary via_helper = RunAdaptive(a, trace);
+  sim::RunSummary manual;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    manual.Add(b.ProcessInstance(trace.At(i)));
+  }
+  EXPECT_EQ(via_helper.instances, manual.instances);
+  EXPECT_NEAR(via_helper.total_energy_mj, manual.total_energy_mj, 1e-9);
+  EXPECT_EQ(a.reschedule_count(), b.reschedule_count());
+}
+
+TEST_F(AdaptiveFixture, NestedForkOnlyObservedWhenActive) {
+  // Feed only a1 instances: fork B never executes, so its window stays
+  // empty and its in-use probability must remain the initial one.
+  AdaptiveController ctrl = MakeController(0.1, /*window=*/4);
+  for (int i = 0; i < 20; ++i) ctrl.ProcessInstance(Assign(0, 1));
+  EXPECT_EQ(ctrl.profiler().Count(ex_.tau(5)), 0u);
+  EXPECT_NEAR(ctrl.in_use_probabilities().Outcome(ex_.tau(5), 0), 0.5,
+              1e-12);
+}
+
+
+TEST_F(AdaptiveFixture, MaxThresholdDegeneratesToOnlineAlgorithm) {
+  // With the threshold at its maximum the detector can never fire, so
+  // the adaptive controller must behave exactly like the static online
+  // algorithm built from the same profile.
+  sched::Schedule online =
+      sched::RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs);
+  dvfs::StretchOnline(online, ex_.probs);
+
+  AdaptiveController ctrl = MakeController(1.0, /*window=*/4);
+  util::Random rng(23);
+  double adaptive_energy = 0.0, online_energy = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto asg =
+        Assign(rng.Bernoulli(0.9) ? 1 : 0, rng.Bernoulli(0.9) ? 1 : 0);
+    adaptive_energy += ctrl.ProcessInstance(asg).energy_mj;
+    online_energy += sim::ExecuteInstance(online, asg).energy_mj;
+  }
+  EXPECT_EQ(ctrl.reschedule_count(), 0u);
+  EXPECT_NEAR(adaptive_energy, online_energy, 1e-9);
+}
+
+TEST_F(AdaptiveFixture, CandidateAdoptionNeverRaisesExpectedEnergy) {
+  // After any re-schedule, the controller's current schedule must be at
+  // least as good as a freshly built one under its own in-use estimate
+  // (the adopt-if-better guard).
+  AdaptiveController ctrl = MakeController(0.1, /*window=*/6);
+  util::Random rng(29);
+  for (int i = 0; i < 120; ++i) {
+    const double p = i < 60 ? 0.9 : 0.1;  // regime flip mid-run
+    ctrl.ProcessInstance(
+        Assign(rng.Bernoulli(p) ? 0 : 1, rng.Bernoulli(p) ? 0 : 1));
+  }
+  EXPECT_GE(ctrl.reschedule_count(), 1u);
+  sched::Schedule fresh = sched::RunDls(
+      ex_.graph, analysis_, ex_.platform, ctrl.in_use_probabilities());
+  dvfs::StretchOnline(fresh, ctrl.in_use_probabilities());
+  EXPECT_LE(sim::ExpectedEnergy(ctrl.current_schedule(),
+                                ctrl.in_use_probabilities()),
+            sim::ExpectedEnergy(fresh, ctrl.in_use_probabilities()) +
+                1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end behaviour on random CTGs: adaptation beats a misprofiled
+// static schedule on drifting workloads.
+
+TEST(AdaptiveRandom, BeatsMisprofiledOnlineOnDriftingTraces) {
+  double online_total = 0.0, adaptive_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    tgff::RandomCtgParams params;
+    params.task_count = 20;
+    params.fork_count = 2;
+    params.category = tgff::Category::kForkJoin;
+    params.seed = seed;
+    tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+    apps::AssignDeadline(rc.graph, rc.platform, 1.3);
+    const ctg::ActivationAnalysis analysis(rc.graph);
+
+    // Drifting trace with equal long-run averages.
+    trace::TraceGenerator gen(rc.graph);
+    int k = 0;
+    for (TaskId f : rc.graph.ForkIds()) {
+      trace::SinusoidProcess::Params sp;
+      sp.amplitude = 0.45;
+      sp.period = 180.0 + 60.0 * k++;
+      gen.SetProcess(f, std::make_unique<trace::SinusoidProcess>(sp));
+    }
+    util::Random rng(seed * 13);
+    const trace::BranchTrace trace = gen.Generate(600, rng);
+
+    // Misprofiled probabilities (heavily skewed).
+    ctg::BranchProbabilities biased(rc.graph.task_count());
+    for (TaskId f : rc.graph.ForkIds()) biased.Set(f, {0.95, 0.05});
+
+    sched::Schedule online = sched::RunDls(rc.graph, analysis,
+                                           rc.platform, biased);
+    dvfs::StretchOnline(online, biased);
+    online_total += sim::RunTrace(online, trace).total_energy_mj;
+
+    AdaptiveOptions options;
+    options.window = 20;
+    options.threshold = 0.1;
+    AdaptiveController ctrl(rc.graph, analysis, rc.platform, biased,
+                            options);
+    const sim::RunSummary summary = RunAdaptive(ctrl, trace);
+    EXPECT_EQ(summary.deadline_misses, 0u);
+    EXPECT_GE(ctrl.reschedule_count(), 5u);
+    adaptive_total += summary.total_energy_mj;
+  }
+  EXPECT_LT(adaptive_total, online_total);
+}
+
+}  // namespace
+}  // namespace actg::adaptive

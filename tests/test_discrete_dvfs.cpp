@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "apps/common.h"
+#include "ctg/activation.h"
+#include "dvfs/stretch.h"
+#include "sched/dls.h"
+#include "sim/energy.h"
+#include "sim/executor.h"
+#include "tgff/random_ctg.h"
+#include "util/error.h"
+
+// Extension beyond the paper's continuous-DVFS model: PEs with discrete
+// voltage/frequency levels. Stretchers round each selected speed UP to
+// the nearest level, trading some energy for hardware realism while
+// preserving every deadline guarantee.
+
+namespace actg {
+namespace {
+
+arch::Platform WithLevels(const arch::Platform& base,
+                          const ctg::Ctg& graph,
+                          std::vector<double> levels) {
+  arch::PlatformBuilder builder(graph.task_count(), base.pe_count());
+  for (TaskId task : graph.TaskIds()) {
+    for (PeId pe : base.PeIds()) {
+      builder.SetTaskCost(task, pe, base.Wcet(task, pe),
+                          base.Energy(task, pe));
+    }
+  }
+  for (PeId pe : base.PeIds()) {
+    builder.SetSpeedLevels(pe, levels);
+  }
+  return std::move(builder).Build();
+}
+
+struct Rig {
+  tgff::RandomCase rc;
+  ctg::ActivationAnalysis analysis;
+  ctg::BranchProbabilities probs;
+
+  explicit Rig(std::uint64_t seed)
+      : rc([&] {
+          tgff::RandomCtgParams params;
+          params.task_count = 18;
+          params.fork_count = 2;
+          params.pe_count = 3;
+          params.seed = seed;
+          auto generated = tgff::GenerateRandomCtg(params);
+          apps::AssignDeadline(generated.graph, generated.platform, 1.6);
+          return generated;
+        }()),
+        analysis(rc.graph),
+        probs(apps::UniformProbabilities(rc.graph)) {}
+};
+
+TEST(QuantizeSpeed, ContinuousPlatformOnlyClamps) {
+  const Rig rig(1);
+  const PeId pe{0};
+  const double floor = rig.rc.platform.pe(pe).min_speed_ratio;
+  EXPECT_DOUBLE_EQ(rig.rc.platform.QuantizeSpeed(pe, 0.7), 0.7);
+  EXPECT_DOUBLE_EQ(rig.rc.platform.QuantizeSpeed(pe, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(rig.rc.platform.QuantizeSpeed(pe, 0.0), floor);
+}
+
+TEST(QuantizeSpeed, DiscreteRoundsUp) {
+  const Rig rig(2);
+  const arch::Platform discrete =
+      WithLevels(rig.rc.platform, rig.rc.graph, {0.4, 0.6, 0.8, 1.0});
+  const PeId pe{0};
+  EXPECT_DOUBLE_EQ(discrete.QuantizeSpeed(pe, 0.55), 0.6);
+  EXPECT_DOUBLE_EQ(discrete.QuantizeSpeed(pe, 0.6), 0.6);
+  EXPECT_DOUBLE_EQ(discrete.QuantizeSpeed(pe, 0.61), 0.8);
+  EXPECT_DOUBLE_EQ(discrete.QuantizeSpeed(pe, 0.05), 0.4);
+  EXPECT_DOUBLE_EQ(discrete.QuantizeSpeed(pe, 0.95), 1.0);
+}
+
+TEST(QuantizeSpeed, LevelValidation) {
+  arch::PlatformBuilder builder(1, 1);
+  builder.SetTaskCost(TaskId{0}, PeId{0}, 1.0, 1.0);
+  EXPECT_THROW(builder.SetSpeedLevels(PeId{0}, {}), InvalidArgument);
+  EXPECT_THROW(builder.SetSpeedLevels(PeId{0}, {0.5, 0.8}),
+               InvalidArgument);  // missing nominal
+  EXPECT_THROW(builder.SetSpeedLevels(PeId{0}, {0.0, 1.0}),
+               InvalidArgument);
+  EXPECT_THROW(builder.SetSpeedLevels(PeId{0}, {0.5, 1.2}),
+               InvalidArgument);
+  builder.SetSpeedLevels(PeId{0}, {1.0, 0.25, 0.5});  // unsorted ok
+  const arch::Platform p = std::move(builder).Build();
+  EXPECT_DOUBLE_EQ(p.pe(PeId{0}).min_speed_ratio, 0.25);
+  EXPECT_EQ(p.pe(PeId{0}).speed_levels.size(), 3u);
+}
+
+class DiscreteStretchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiscreteStretchSweep, AllStretchersSnapToLevelsAndKeepDeadline) {
+  const Rig rig(static_cast<std::uint64_t>(GetParam()));
+  const std::vector<double> levels{0.25, 0.5, 0.75, 1.0};
+  const arch::Platform discrete =
+      WithLevels(rig.rc.platform, rig.rc.graph, levels);
+  for (int which = 0; which < 3; ++which) {
+    sched::Schedule s = sched::RunDls(rig.rc.graph, rig.analysis,
+                                      discrete, rig.probs);
+    switch (which) {
+      case 0:
+        dvfs::StretchOnline(s, rig.probs);
+        break;
+      case 1:
+        dvfs::StretchProportional(s);
+        break;
+      default: {
+        dvfs::NlpOptions options;
+        options.iterations = 300;
+        dvfs::StretchNlp(s, rig.probs, options);
+      }
+    }
+    s.Validate();  // checks every ratio is one of the levels
+    EXPECT_LE(sim::MaxScenarioMakespan(s),
+              rig.rc.graph.deadline_ms() + 1e-6)
+        << "stretcher " << which;
+  }
+}
+
+TEST_P(DiscreteStretchSweep, QuantizationCostsBoundedEnergy) {
+  // Discrete DVFS can only do worse than continuous, but rounding up to
+  // the next of 4 levels must not explode the energy: it is bounded by
+  // running every task at the next level up, i.e. a factor of
+  // (next/previous)^2 <= (0.5/0.25)^2 = 4 in the worst case here.
+  const Rig rig(static_cast<std::uint64_t>(GetParam()));
+  const arch::Platform discrete = WithLevels(
+      rig.rc.platform, rig.rc.graph, {0.25, 0.5, 0.75, 1.0});
+
+  sched::Schedule continuous = sched::RunDls(
+      rig.rc.graph, rig.analysis, rig.rc.platform, rig.probs);
+  dvfs::StretchOnline(continuous, rig.probs);
+  sched::Schedule quantized =
+      sched::RunDls(rig.rc.graph, rig.analysis, discrete, rig.probs);
+  dvfs::StretchOnline(quantized, rig.probs);
+
+  const double e_cont = sim::ExpectedEnergy(continuous, rig.probs);
+  const double e_disc = sim::ExpectedEnergy(quantized, rig.probs);
+  EXPECT_GE(e_disc, e_cont - 1e-9);
+  EXPECT_LE(e_disc, 4.0 * e_cont);
+}
+
+TEST_P(DiscreteStretchSweep, FinerLevelsNeverWorse) {
+  const Rig rig(static_cast<std::uint64_t>(GetParam()));
+  const arch::Platform coarse =
+      WithLevels(rig.rc.platform, rig.rc.graph, {0.5, 1.0});
+  // The fine set refines the coarse one (superset), so the rounded-up
+  // speed can only drop or stay equal per task.
+  const arch::Platform fine = WithLevels(
+      rig.rc.platform, rig.rc.graph,
+      {0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0});
+
+  sched::Schedule s_coarse =
+      sched::RunDls(rig.rc.graph, rig.analysis, coarse, rig.probs);
+  dvfs::StretchOnline(s_coarse, rig.probs);
+  sched::Schedule s_fine =
+      sched::RunDls(rig.rc.graph, rig.analysis, fine, rig.probs);
+  dvfs::StretchOnline(s_fine, rig.probs);
+  EXPECT_LE(sim::ExpectedEnergy(s_fine, rig.probs),
+            sim::ExpectedEnergy(s_coarse, rig.probs) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiscreteStretchSweep,
+                         ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace actg

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/common.h"
+#include "apps/fig1_example.h"
+#include "ctg/activation.h"
+#include "sched/dls.h"
+#include "sched/gantt.h"
+#include "util/error.h"
+
+namespace actg::sched {
+namespace {
+
+TEST(Gantt, RendersEveryPeAndTask) {
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const ctg::ActivationAnalysis analysis(ex.graph);
+  const Schedule s = RunDls(ex.graph, analysis, ex.platform, ex.probs);
+  std::ostringstream os;
+  WriteGantt(os, s);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("PE0"), std::string::npos);
+  EXPECT_NE(out.find("PE1"), std::string::npos);
+  // Task names appear (possibly truncated to their bar width, so check
+  // the short common prefix).
+  EXPECT_NE(out.find("tau"), std::string::npos);
+  EXPECT_NE(out.find('='), std::string::npos);
+}
+
+TEST(Gantt, DeterministicOutput) {
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const ctg::ActivationAnalysis analysis(ex.graph);
+  const Schedule s = RunDls(ex.graph, analysis, ex.platform, ex.probs);
+  std::ostringstream a, b;
+  WriteGantt(a, s);
+  WriteGantt(b, s);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Gantt, OverlapRowsOnlyWithMutexTasks) {
+  // On a single-PE platform, mutually exclusive branch tasks overlap and
+  // must spill into an extra sub-row.
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  arch::PlatformBuilder pb(ex.graph.task_count(), 1);
+  for (TaskId t : ex.graph.TaskIds()) {
+    pb.SetTaskCost(t, PeId{0}, ex.platform.Wcet(t, PeId{0}),
+                   ex.platform.Energy(t, PeId{0}));
+  }
+  const arch::Platform single = std::move(pb).Build();
+  const ctg::ActivationAnalysis analysis(ex.graph);
+  const Schedule s = RunDls(ex.graph, analysis, single, ex.probs);
+  std::ostringstream expanded;
+  WriteGantt(expanded, s, GanttOptions{72, true});
+  // At least one continuation row (starts with spaces then '|').
+  EXPECT_NE(expanded.str().find("       |"), std::string::npos);
+}
+
+TEST(Gantt, WidthValidation) {
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const ctg::ActivationAnalysis analysis(ex.graph);
+  const Schedule s = RunDls(ex.graph, analysis, ex.platform, ex.probs);
+  std::ostringstream os;
+  EXPECT_THROW(WriteGantt(os, s, GanttOptions{4, true}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace actg::sched

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/fig1_example.h"
+#include "ctg/dot.h"
+#include "ctg/graph.h"
+#include "util/error.h"
+
+namespace actg::ctg {
+namespace {
+
+Ctg MakeDiamond() {
+  CtgBuilder b;
+  const TaskId s = b.AddTask("s");
+  const TaskId l = b.AddTask("l");
+  const TaskId r = b.AddTask("r");
+  const TaskId t = b.AddTask("t");
+  b.AddEdge(s, l, 1.0);
+  b.AddEdge(s, r, 2.0);
+  b.AddEdge(l, t, 3.0);
+  b.AddEdge(r, t, 4.0);
+  return std::move(b).Build();
+}
+
+TEST(CtgBuilder, BuildsDiamond) {
+  const Ctg g = MakeDiamond();
+  EXPECT_EQ(g.task_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.Sources().size(), 1u);
+  EXPECT_EQ(g.Sinks().size(), 1u);
+  EXPECT_EQ(g.TopologicalOrder().size(), 4u);
+  EXPECT_TRUE(g.ForkIds().empty());
+}
+
+TEST(CtgBuilder, AdjacencyIsConsistent) {
+  const Ctg g = MakeDiamond();
+  const TaskId s{0};
+  EXPECT_EQ(g.OutEdges(s).size(), 2u);
+  EXPECT_EQ(g.InEdges(s).size(), 0u);
+  const TaskId t{3};
+  EXPECT_EQ(g.InEdges(t).size(), 2u);
+  for (EdgeId eid : g.InEdges(t)) {
+    EXPECT_EQ(g.edge(eid).dst, t);
+  }
+}
+
+TEST(CtgBuilder, TopologicalOrderRespectsEdges) {
+  const Ctg g = MakeDiamond();
+  std::vector<std::size_t> pos(g.task_count());
+  const auto& topo = g.TopologicalOrder();
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i].index()] = i;
+  for (EdgeId eid : g.EdgeIds()) {
+    EXPECT_LT(pos[g.edge(eid).src.index()], pos[g.edge(eid).dst.index()]);
+  }
+}
+
+TEST(CtgBuilder, DetectsCycle) {
+  CtgBuilder b;
+  const TaskId x = b.AddTask("x");
+  const TaskId y = b.AddTask("y");
+  b.AddEdge(x, y);
+  b.AddEdge(y, x);
+  EXPECT_THROW(std::move(b).Build(), InvalidArgument);
+}
+
+TEST(CtgBuilder, RejectsSelfLoop) {
+  CtgBuilder b;
+  const TaskId x = b.AddTask("x");
+  EXPECT_THROW(b.AddEdge(x, x), InvalidArgument);
+}
+
+TEST(CtgBuilder, RejectsUnknownEndpoints) {
+  CtgBuilder b;
+  const TaskId x = b.AddTask("x");
+  EXPECT_THROW(b.AddEdge(x, TaskId{5}), InvalidArgument);
+  EXPECT_THROW(b.AddEdge(TaskId{}, x), InvalidArgument);
+}
+
+TEST(CtgBuilder, RejectsNegativeComm) {
+  CtgBuilder b;
+  const TaskId x = b.AddTask("x");
+  const TaskId y = b.AddTask("y");
+  EXPECT_THROW(b.AddEdge(x, y, -1.0), InvalidArgument);
+}
+
+TEST(CtgBuilder, EmptyGraphRejected) {
+  CtgBuilder b;
+  EXPECT_THROW(std::move(b).Build(), InvalidArgument);
+}
+
+TEST(CtgBuilder, ForkDetectionAndOutcomeCount) {
+  CtgBuilder b;
+  const TaskId f = b.AddTask("fork");
+  const TaskId x = b.AddTask("x");
+  const TaskId y = b.AddTask("y");
+  b.AddConditionalEdge(f, x, 0);
+  b.AddConditionalEdge(f, y, 1);
+  const Ctg g = std::move(b).Build();
+  EXPECT_TRUE(g.IsFork(f));
+  EXPECT_FALSE(g.IsFork(x));
+  EXPECT_EQ(g.OutcomeCount(f), 2);
+  ASSERT_EQ(g.ForkIds().size(), 1u);
+  EXPECT_EQ(g.ForkIds()[0], f);
+}
+
+TEST(CtgBuilder, UnusedForkOutcomeRejected) {
+  CtgBuilder b;
+  const TaskId f = b.AddTask("fork");
+  const TaskId x = b.AddTask("x");
+  const TaskId y = b.AddTask("y");
+  b.AddConditionalEdge(f, x, 0);
+  b.AddConditionalEdge(f, y, 2);  // outcome 1 never used
+  EXPECT_THROW(std::move(b).Build(), InvalidArgument);
+}
+
+TEST(CtgBuilder, SingleOutcomeForkRejected) {
+  CtgBuilder b;
+  const TaskId f = b.AddTask("fork");
+  const TaskId x = b.AddTask("x");
+  b.AddConditionalEdge(f, x, 0);
+  EXPECT_THROW(std::move(b).Build(), InvalidArgument);
+}
+
+TEST(CtgBuilder, OutcomeLabelsExtendArity) {
+  CtgBuilder b;
+  const TaskId f = b.AddTask("fork");
+  const TaskId x = b.AddTask("x");
+  const TaskId y = b.AddTask("y");
+  b.AddConditionalEdge(f, x, 0);
+  b.AddConditionalEdge(f, y, 1);
+  b.SetOutcomeLabels(f, {"yes", "no"});
+  const Ctg g = std::move(b).Build();
+  EXPECT_EQ(g.OutcomeLabel(f, 0), "yes");
+  EXPECT_EQ(g.OutcomeLabel(f, 1), "no");
+  EXPECT_THROW(g.OutcomeLabel(f, 2), InvalidArgument);
+}
+
+TEST(CtgBuilder, LabelsOnNonForkRejected) {
+  CtgBuilder b;
+  const TaskId x = b.AddTask("x");
+  const TaskId y = b.AddTask("y");
+  b.AddEdge(x, y);
+  b.SetOutcomeLabels(x, {"a", "b"});
+  EXPECT_THROW(std::move(b).Build(), InvalidArgument);
+}
+
+TEST(CtgBuilder, OrNodeWithoutPredecessorsRejected) {
+  CtgBuilder b;
+  b.AddOrTask("lonely_or");
+  b.AddTask("other");
+  EXPECT_THROW(std::move(b).Build(), InvalidArgument);
+}
+
+TEST(CtgBuilder, DeadlineValidation) {
+  CtgBuilder b;
+  b.AddTask("x");
+  EXPECT_THROW(b.SetDeadline(-1.0), InvalidArgument);
+  b.SetDeadline(25.0);
+  Ctg g = std::move(b).Build();
+  EXPECT_DOUBLE_EQ(g.deadline_ms(), 25.0);
+  g.SetDeadline(40.0);
+  EXPECT_DOUBLE_EQ(g.deadline_ms(), 40.0);
+  EXPECT_THROW(g.SetDeadline(0.0), InvalidArgument);
+}
+
+TEST(CtgBuilder, ArityFnCoversForksOnly) {
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const auto arity = ex.graph.ArityFn();
+  EXPECT_EQ(arity(ex.tau(3)), 2);
+  EXPECT_EQ(arity(ex.tau(5)), 2);
+  EXPECT_EQ(arity(ex.tau(1)), 0);
+}
+
+TEST(Fig1, StructureMatchesPaper) {
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const Ctg& g = ex.graph;
+  EXPECT_EQ(g.task_count(), 8u);
+  EXPECT_EQ(g.ForkIds().size(), 2u);
+  EXPECT_TRUE(g.IsFork(ex.tau(3)));
+  EXPECT_TRUE(g.IsFork(ex.tau(5)));
+  EXPECT_EQ(g.task(ex.tau(8)).join, JoinType::kOr);
+  EXPECT_EQ(g.task(ex.tau(1)).join, JoinType::kAnd);
+  EXPECT_EQ(g.OutcomeLabel(ex.tau(3), 0), "a1");
+  EXPECT_EQ(g.OutcomeLabel(ex.tau(5), 1), "b2");
+}
+
+TEST(Dot, ExportsAllNodesAndStyles) {
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  std::ostringstream os;
+  WriteDot(os, ex.graph);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("tau1"), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);       // forks
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos);  // or-node
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);        // cond edge
+  EXPECT_NE(dot.find("a1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace actg::ctg

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/common.h"
+#include "apps/fig1_example.h"
+#include "dvfs/paths.h"
+#include "sched/dls.h"
+#include "tgff/random_ctg.h"
+#include "util/error.h"
+
+namespace actg::dvfs {
+namespace {
+
+class Fig1Paths : public ::testing::Test {
+ protected:
+  Fig1Paths()
+      : ex_(apps::MakeFig1Example()),
+        analysis_(ex_.graph),
+        schedule_(sched::RunDls(ex_.graph, analysis_, ex_.platform,
+                                ex_.probs)),
+        paths_(schedule_) {}
+
+  /// Finds the path visiting exactly the given task sequence as a
+  /// subsequence of CTG tasks (pseudo edges may interleave nothing).
+  int FindPath(const std::vector<int>& taus) const {
+    for (std::size_t i = 0; i < paths_.size(); ++i) {
+      const Path& p = paths_.path(i);
+      std::vector<TaskId> want;
+      for (int t : taus) want.push_back(ex_.tau(t));
+      // The path may contain more tasks (via pseudo edges); check that
+      // `want` is a subsequence.
+      std::size_t k = 0;
+      for (TaskId t : p.tasks) {
+        if (k < want.size() && t == want[k]) ++k;
+      }
+      if (k == want.size()) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  apps::Fig1Example ex_;
+  ctg::ActivationAnalysis analysis_;
+  sched::Schedule schedule_;
+  PathSet paths_;
+};
+
+TEST_F(Fig1Paths, NoUnrealizablePaths) {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    EXPECT_FALSE(paths_.path(i).guard.IsFalse());
+  }
+}
+
+TEST_F(Fig1Paths, EveryTaskIsSpannedBySomePath) {
+  for (TaskId t : ex_.graph.TaskIds()) {
+    EXPECT_FALSE(paths_.Spanning(t).empty())
+        << ex_.graph.task(t).name;
+  }
+}
+
+TEST_F(Fig1Paths, MutexTasksNeverShareAPath) {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    const Path& p = paths_.path(i);
+    for (std::size_t a = 0; a < p.tasks.size(); ++a) {
+      for (std::size_t b = a + 1; b < p.tasks.size(); ++b) {
+        EXPECT_FALSE(analysis_.MutuallyExclusive(p.tasks[a], p.tasks[b]));
+      }
+    }
+  }
+}
+
+TEST_F(Fig1Paths, PaperProbAfterExampleTau5) {
+  // prob(τ1-τ3-τ5-τ6, τ5) = prob(b1) = 0.5.
+  const int idx = FindPath({1, 3, 5, 6});
+  ASSERT_GE(idx, 0);
+  EXPECT_NEAR(paths_.ProbAfter(static_cast<std::size_t>(idx), ex_.tau(5),
+                               ex_.probs),
+              0.5, 1e-12);
+}
+
+TEST_F(Fig1Paths, PaperProbAfterExampleTau8) {
+  // prob(τ1-τ3-τ4-τ8, τ8) = 1: no conditional branch after τ8.
+  const int idx = FindPath({1, 3, 4, 8});
+  ASSERT_GE(idx, 0);
+  EXPECT_NEAR(paths_.ProbAfter(static_cast<std::size_t>(idx), ex_.tau(8),
+                               ex_.probs),
+              1.0, 1e-12);
+}
+
+TEST_F(Fig1Paths, ProbAfterAtPathHeadIsJointOfAllConditions) {
+  const int idx = FindPath({1, 3, 5, 6});
+  ASSERT_GE(idx, 0);
+  // From τ1 both a2 (0.6) and b1 (0.5) lie ahead.
+  EXPECT_NEAR(paths_.ProbAfter(static_cast<std::size_t>(idx), ex_.tau(1),
+                               ex_.probs),
+              0.3, 1e-12);
+}
+
+TEST_F(Fig1Paths, DelayIsCommPlusExecution) {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    const Path& p = paths_.path(i);
+    double expected = p.comm_ms;
+    for (TaskId t : p.tasks) expected += schedule_.ScaledWcet(t);
+    EXPECT_NEAR(p.delay_ms, expected, 1e-9);
+    EXPECT_DOUBLE_EQ(p.unlocked_ms, p.delay_ms - p.comm_ms);
+  }
+}
+
+TEST_F(Fig1Paths, MaxDelayBoundsEveryScenarioMakespan) {
+  // The path model's worst delay upper-bounds the schedule makespan
+  // because path delays ignore no constraint the DAG has.
+  EXPECT_GE(paths_.MaxDelay(), schedule_.Makespan() - 1e-6);
+}
+
+TEST_F(Fig1Paths, CommitTaskUpdatesSpanningPathsOnly) {
+  PathSet paths(schedule_);
+  const TaskId t6 = ex_.tau(6);
+  std::vector<double> before;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    before.push_back(paths.path(i).delay_ms);
+  }
+  paths.CommitTask(t6, 5.0, schedule_.NominalWcet(t6));
+  const auto& spanning = paths.Spanning(t6);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const bool spans =
+        std::find(spanning.begin(), spanning.end(), i) != spanning.end();
+    EXPECT_NEAR(paths.path(i).delay_ms, before[i] + (spans ? 5.0 : 0.0),
+                1e-9);
+  }
+}
+
+TEST_F(Fig1Paths, UnlockedNeverNegative) {
+  PathSet paths(schedule_);
+  const TaskId t2 = ex_.tau(2);
+  const double w = schedule_.NominalWcet(t2);
+  paths.CommitTask(t2, 0.0, w);
+  paths.CommitTask(t2, 0.0, w);  // double commit must clamp at zero
+  for (std::size_t i : paths.Spanning(t2)) {
+    EXPECT_GE(paths.path(i).unlocked_ms, 0.0);
+  }
+}
+
+TEST_F(Fig1Paths, SlackRatioDefinition) {
+  const double deadline = ex_.graph.deadline_ms();
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    const Path& p = paths_.path(i);
+    EXPECT_NEAR(p.Slack(deadline), deadline - p.delay_ms, 1e-12);
+    EXPECT_NEAR(p.SlackRatio(deadline),
+                std::max(deadline - p.delay_ms, 0.0) / p.unlocked_ms,
+                1e-12);
+  }
+}
+
+TEST_F(Fig1Paths, PositionOfThrowsForAbsentTask) {
+  // Find a path that does not span τ4 (e.g. one through τ5).
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    const Path& p = paths_.path(i);
+    if (std::find(p.tasks.begin(), p.tasks.end(), ex_.tau(4)) ==
+        p.tasks.end()) {
+      EXPECT_THROW(paths_.PositionOf(i, ex_.tau(4)), InvalidArgument);
+      return;
+    }
+  }
+  FAIL() << "every path spans tau4?";
+}
+
+TEST(PathSetLimits, MaxPathsEnforced) {
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const ctg::ActivationAnalysis analysis(ex.graph);
+  const sched::Schedule s =
+      sched::RunDls(ex.graph, analysis, ex.platform, ex.probs);
+  EXPECT_THROW(PathSet(s, 1), InvalidArgument);
+}
+
+TEST(PathSetBlind, KeepsUnrealizableChainsWhenAsked) {
+  // On a mutex-blind schedule, enumerating with drop_unrealizable=false
+  // must produce at least as many paths, including false-guard ones.
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const ctg::ActivationAnalysis analysis(ex.graph);
+  sched::DlsOptions blind;
+  blind.mutex_aware = false;
+  const sched::Schedule s =
+      sched::RunDls(ex.graph, analysis, ex.platform, ex.probs, blind);
+  const PathSet realizable(s, 1 << 20, true);
+  const PathSet all(s, 1 << 20, false);
+  EXPECT_GE(all.size(), realizable.size());
+}
+
+TEST(PathSetSweep, RandomGraphsPathInvariants) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (auto category :
+         {tgff::Category::kForkJoin, tgff::Category::kFlat}) {
+      tgff::RandomCtgParams params;
+      params.task_count = 20;
+      params.fork_count = 2;
+      params.category = category;
+      params.seed = seed;
+      tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+      apps::AssignDeadline(rc.graph, rc.platform, 1.5);
+      const ctg::ActivationAnalysis analysis(rc.graph);
+      const auto probs = apps::UniformProbabilities(rc.graph);
+      const sched::Schedule s =
+          sched::RunDls(rc.graph, analysis, rc.platform, probs);
+      const PathSet paths(s);
+      ASSERT_GT(paths.size(), 0u);
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        const Path& p = paths.path(i);
+        ASSERT_EQ(p.edges.size() + 1, p.tasks.size());
+        EXPECT_FALSE(p.guard.IsFalse());
+        EXPECT_GE(p.comm_ms, 0.0);
+        EXPECT_GT(p.delay_ms, 0.0);
+        // prob(p, last task) == 1 always: nothing lies after it.
+        EXPECT_NEAR(paths.ProbAfter(i, p.tasks.back(), probs), 1.0,
+                    1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace actg::dvfs

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/platform.h"
+#include "util/error.h"
+
+namespace actg::arch {
+namespace {
+
+Platform MakeTwoPe() {
+  PlatformBuilder b(3, 2, /*bandwidth=*/10.0, /*tx_energy=*/0.5);
+  b.SetTaskCost(TaskId{0}, PeId{0}, 10.0, 20.0);
+  b.SetTaskCost(TaskId{0}, PeId{1}, 14.0, 18.0);
+  b.SetTaskCost(TaskId{1}, PeId{0}, 6.0, 9.0);
+  b.SetTaskCost(TaskId{1}, PeId{1}, 6.0, 7.0);
+  b.SetTaskCost(TaskId{2}, PeId{0}, 8.0, 8.0);
+  b.SetTaskCost(TaskId{2}, PeId{1}, 4.0, 6.0);
+  b.SetMinSpeedRatio(PeId{0}, 0.25);
+  return std::move(b).Build();
+}
+
+TEST(Platform, BasicAccessors) {
+  const Platform p = MakeTwoPe();
+  EXPECT_EQ(p.pe_count(), 2u);
+  EXPECT_EQ(p.task_count(), 3u);
+  EXPECT_DOUBLE_EQ(p.Wcet(TaskId{0}, PeId{1}), 14.0);
+  EXPECT_DOUBLE_EQ(p.Energy(TaskId{2}, PeId{0}), 8.0);
+  EXPECT_DOUBLE_EQ(p.pe(PeId{0}).min_speed_ratio, 0.25);
+  EXPECT_DOUBLE_EQ(p.pe(PeId{1}).min_speed_ratio, 0.1);  // default
+  EXPECT_EQ(p.pe(PeId{0}).name, "PE0");
+}
+
+TEST(Platform, AverageWcetIsPeMean) {
+  const Platform p = MakeTwoPe();
+  EXPECT_DOUBLE_EQ(p.AverageWcet(TaskId{0}), 12.0);
+  EXPECT_DOUBLE_EQ(p.AverageWcet(TaskId{2}), 6.0);
+}
+
+TEST(Platform, IntraPeCommunicationIsFree) {
+  const Platform p = MakeTwoPe();
+  EXPECT_DOUBLE_EQ(p.CommTime(100.0, PeId{0}, PeId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(p.CommEnergy(100.0, PeId{1}, PeId{1}), 0.0);
+}
+
+TEST(Platform, InterPeCommunicationScalesWithVolume) {
+  const Platform p = MakeTwoPe();
+  EXPECT_DOUBLE_EQ(p.CommTime(50.0, PeId{0}, PeId{1}), 5.0);
+  EXPECT_DOUBLE_EQ(p.CommEnergy(50.0, PeId{0}, PeId{1}), 25.0);
+  EXPECT_DOUBLE_EQ(p.CommTime(0.0, PeId{0}, PeId{1}), 0.0);
+}
+
+TEST(Platform, SetLinkIsSymmetric) {
+  PlatformBuilder b(1, 3);
+  b.SetTaskCost(TaskId{0}, PeId{0}, 1.0, 1.0);
+  b.SetTaskCost(TaskId{0}, PeId{1}, 1.0, 1.0);
+  b.SetTaskCost(TaskId{0}, PeId{2}, 1.0, 1.0);
+  b.SetLink(PeId{0}, PeId{2}, 25.0, 0.2);
+  const Platform p = std::move(b).Build();
+  EXPECT_DOUBLE_EQ(p.Bandwidth(PeId{0}, PeId{2}), 25.0);
+  EXPECT_DOUBLE_EQ(p.Bandwidth(PeId{2}, PeId{0}), 25.0);
+  EXPECT_DOUBLE_EQ(p.TxEnergyPerKb(PeId{2}, PeId{0}), 0.2);
+  EXPECT_DOUBLE_EQ(p.Bandwidth(PeId{0}, PeId{1}), 100.0);  // default
+}
+
+TEST(PlatformBuilder, MissingCostRejectedAtBuild) {
+  PlatformBuilder b(2, 1);
+  b.SetTaskCost(TaskId{0}, PeId{0}, 1.0, 1.0);
+  EXPECT_THROW(std::move(b).Build(), InvalidArgument);
+}
+
+TEST(PlatformBuilder, InvalidInputsRejected) {
+  EXPECT_THROW(PlatformBuilder(0, 1), InvalidArgument);
+  EXPECT_THROW(PlatformBuilder(1, 0), InvalidArgument);
+  PlatformBuilder b(1, 2);
+  EXPECT_THROW(b.SetTaskCost(TaskId{0}, PeId{0}, 0.0, 1.0),
+               InvalidArgument);
+  EXPECT_THROW(b.SetTaskCost(TaskId{0}, PeId{0}, 1.0, -1.0),
+               InvalidArgument);
+  EXPECT_THROW(b.SetTaskCost(TaskId{5}, PeId{0}, 1.0, 1.0),
+               InvalidArgument);
+  EXPECT_THROW(b.SetMinSpeedRatio(PeId{0}, 0.0), InvalidArgument);
+  EXPECT_THROW(b.SetMinSpeedRatio(PeId{0}, 1.5), InvalidArgument);
+  EXPECT_THROW(b.SetLink(PeId{0}, PeId{0}, 1.0, 0.1), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// DVFS model: E ∝ σ², t ∝ 1/σ (paper Section IV energy model).
+
+TEST(DvfsModel, ScalingLaws) {
+  EXPECT_DOUBLE_EQ(dvfs_model::ScaledTime(10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(dvfs_model::ScaledTime(10.0, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(dvfs_model::ScaledEnergy(40.0, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(dvfs_model::ScaledEnergy(40.0, 0.5), 10.0);
+}
+
+TEST(DvfsModel, EnergyTimesTimeInvariant) {
+  // E(σ)·t(σ) = E0·t0·σ: halving speed quarters energy, doubles time.
+  const double e0 = 30.0, t0 = 12.0;
+  for (double sigma : {1.0, 0.8, 0.5, 0.2}) {
+    const double e = dvfs_model::ScaledEnergy(e0, sigma);
+    const double t = dvfs_model::ScaledTime(t0, sigma);
+    EXPECT_NEAR(e * t, e0 * t0 * sigma, 1e-9);
+  }
+}
+
+TEST(DvfsModel, SpeedForAllottedClampsCorrectly) {
+  EXPECT_DOUBLE_EQ(dvfs_model::SpeedForAllotted(10.0, 5.0, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(dvfs_model::SpeedForAllotted(10.0, 10.0, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(dvfs_model::SpeedForAllotted(10.0, 20.0, 0.1), 0.5);
+  EXPECT_DOUBLE_EQ(dvfs_model::SpeedForAllotted(10.0, 1000.0, 0.2), 0.2);
+}
+
+TEST(DvfsModel, RejectsBadArguments) {
+  EXPECT_THROW(dvfs_model::ScaledTime(1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(dvfs_model::ScaledTime(1.0, 1.5), InvalidArgument);
+  EXPECT_THROW(dvfs_model::ScaledEnergy(1.0, -0.1), InvalidArgument);
+  EXPECT_THROW(dvfs_model::SpeedForAllotted(0.0, 1.0, 0.1),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace actg::arch

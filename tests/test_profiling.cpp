@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "apps/fig1_example.h"
+#include "ctg/activation.h"
+#include "profiling/window.h"
+#include "util/error.h"
+
+namespace actg::profiling {
+namespace {
+
+class WindowFixture : public ::testing::Test {
+ protected:
+  WindowFixture() : ex_(apps::MakeFig1Example()), analysis_(ex_.graph) {}
+  TaskId ForkA() const { return ex_.tau(3); }
+  TaskId ForkB() const { return ex_.tau(5); }
+
+  apps::Fig1Example ex_;
+  ctg::ActivationAnalysis analysis_;
+};
+
+TEST_F(WindowFixture, EmptyBuffersInitially) {
+  SlidingWindowProfiler profiler(ex_.graph, 4);
+  EXPECT_EQ(profiler.Count(ForkA()), 0u);
+  EXPECT_FALSE(profiler.Full(ForkA()));
+  EXPECT_THROW(profiler.WindowedDistribution(ForkA()), InvalidArgument);
+}
+
+TEST_F(WindowFixture, ObserveFillsAndEvictsFifo) {
+  SlidingWindowProfiler profiler(ex_.graph, 3);
+  profiler.Observe(ForkA(), 0);
+  profiler.Observe(ForkA(), 0);
+  profiler.Observe(ForkA(), 1);
+  EXPECT_TRUE(profiler.Full(ForkA()));
+  EXPECT_NEAR(profiler.WindowedProbability(ForkA(), 0), 2.0 / 3.0, 1e-12);
+  // Shifting in another '1' evicts the oldest '0'.
+  profiler.Observe(ForkA(), 1);
+  EXPECT_EQ(profiler.Count(ForkA()), 3u);
+  EXPECT_NEAR(profiler.WindowedProbability(ForkA(), 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST_F(WindowFixture, WindowedDistributionSumsToOne) {
+  SlidingWindowProfiler profiler(ex_.graph, 8);
+  for (int i = 0; i < 8; ++i) profiler.Observe(ForkA(), i % 2);
+  const auto dist = profiler.WindowedDistribution(ForkA());
+  EXPECT_NEAR(dist[0] + dist[1], 1.0, 1e-12);
+  EXPECT_NEAR(dist[0], 0.5, 1e-12);
+}
+
+TEST_F(WindowFixture, ObserveValidatesInput) {
+  SlidingWindowProfiler profiler(ex_.graph, 4);
+  EXPECT_THROW(profiler.Observe(ex_.tau(1), 0), InvalidArgument);
+  EXPECT_THROW(profiler.Observe(ForkA(), 5), InvalidArgument);
+  EXPECT_THROW(profiler.Observe(ForkA(), -1), InvalidArgument);
+  EXPECT_THROW(SlidingWindowProfiler(ex_.graph, 0), InvalidArgument);
+}
+
+TEST_F(WindowFixture, ObserveInstanceSkipsInactiveForks) {
+  SlidingWindowProfiler profiler(ex_.graph, 4);
+  ctg::BranchAssignment asg(ex_.graph.task_count());
+  asg.Set(ForkA(), 0);  // a1 -> fork B never executes
+  asg.Set(ForkB(), 1);  // decision recorded in the vector but unused
+  profiler.ObserveInstance(analysis_, asg);
+  EXPECT_EQ(profiler.Count(ForkA()), 1u);
+  EXPECT_EQ(profiler.Count(ForkB()), 0u);
+
+  asg.Set(ForkA(), 1);  // a2 -> fork B executes
+  profiler.ObserveInstance(analysis_, asg);
+  EXPECT_EQ(profiler.Count(ForkA()), 2u);
+  EXPECT_EQ(profiler.Count(ForkB()), 1u);
+}
+
+TEST_F(WindowFixture, ResetClearsEverything) {
+  SlidingWindowProfiler profiler(ex_.graph, 4);
+  profiler.Observe(ForkA(), 0);
+  profiler.Observe(ForkB(), 1);
+  profiler.Reset();
+  EXPECT_EQ(profiler.Count(ForkA()), 0u);
+  EXPECT_EQ(profiler.Count(ForkB()), 0u);
+}
+
+TEST_F(WindowFixture, WindowTracksDriftWithBoundedLag) {
+  // Feed 0s then 1s; after a full window of 1s the estimate must be 1.
+  SlidingWindowProfiler profiler(ex_.graph, 10);
+  for (int i = 0; i < 50; ++i) profiler.Observe(ForkA(), 0);
+  EXPECT_NEAR(profiler.WindowedProbability(ForkA(), 1), 0.0, 1e-12);
+  for (int i = 0; i < 10; ++i) profiler.Observe(ForkA(), 1);
+  EXPECT_NEAR(profiler.WindowedProbability(ForkA(), 1), 1.0, 1e-12);
+}
+
+TEST(DistributionDistance, MaxAbsDifference) {
+  EXPECT_DOUBLE_EQ(DistributionDistance({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(DistributionDistance({0.9, 0.1}, {0.5, 0.5}), 0.4);
+  EXPECT_DOUBLE_EQ(DistributionDistance({0.2, 0.3, 0.5}, {0.2, 0.5, 0.3}),
+                   0.2);
+  EXPECT_THROW(DistributionDistance({0.5, 0.5}, {1.0}), InvalidArgument);
+}
+
+TEST(DistributionDistance, ThresholdSemanticsOfThePaper) {
+  // Fig. 4: the filtered probability updates when the windowed value
+  // moves by more than 0.1 from the value in use.
+  EXPECT_GT(DistributionDistance({0.62, 0.38}, {0.50, 0.50}), 0.1);
+  EXPECT_LT(DistributionDistance({0.58, 0.42}, {0.50, 0.50}), 0.1);
+}
+
+}  // namespace
+}  // namespace actg::profiling

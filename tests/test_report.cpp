@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/common.h"
+#include "apps/fig1_example.h"
+#include "ctg/activation.h"
+#include "dvfs/stretch.h"
+#include "sched/dls.h"
+#include "sim/energy.h"
+#include "sim/report.h"
+#include "tgff/random_ctg.h"
+
+namespace actg::sim {
+namespace {
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  ReportFixture()
+      : ex_(apps::MakeFig1Example()),
+        analysis_(ex_.graph),
+        schedule_(sched::RunDls(ex_.graph, analysis_, ex_.platform,
+                                ex_.probs)) {}
+
+  apps::Fig1Example ex_;
+  ctg::ActivationAnalysis analysis_;
+  sched::Schedule schedule_;
+};
+
+TEST_F(ReportFixture, TaskCountsPartitionTheGraph) {
+  const ScheduleReport report = BuildReport(schedule_, ex_.probs);
+  ASSERT_EQ(report.pes.size(), ex_.platform.pe_count());
+  std::size_t total = 0;
+  for (const PeReport& pe : report.pes) total += pe.task_count;
+  EXPECT_EQ(total, ex_.graph.task_count());
+}
+
+TEST_F(ReportFixture, EnergyBreakdownIsConsistent) {
+  const ScheduleReport report = BuildReport(schedule_, ex_.probs);
+  EXPECT_NEAR(report.expected_energy_mj,
+              ExpectedEnergy(schedule_, ex_.probs), 1e-9);
+  double compute = 0.0;
+  for (const PeReport& pe : report.pes) compute += pe.expected_energy_mj;
+  EXPECT_NEAR(compute + report.expected_comm_energy_mj,
+              report.expected_energy_mj, 1e-9);
+}
+
+TEST_F(ReportFixture, NominalScheduleHasUnitMeanSpeed) {
+  const ScheduleReport report = BuildReport(schedule_, ex_.probs);
+  EXPECT_NEAR(report.mean_speed_ratio, 1.0, 1e-12);
+}
+
+TEST_F(ReportFixture, StretchingLowersMeanSpeedAndEnergy) {
+  const ScheduleReport before = BuildReport(schedule_, ex_.probs);
+  dvfs::StretchOnline(schedule_, ex_.probs);
+  const ScheduleReport after = BuildReport(schedule_, ex_.probs);
+  EXPECT_LT(after.mean_speed_ratio, before.mean_speed_ratio);
+  EXPECT_LT(after.expected_energy_mj, before.expected_energy_mj);
+  // Communication energy is never voltage-scaled (paper Section II).
+  EXPECT_NEAR(after.expected_comm_energy_mj,
+              before.expected_comm_energy_mj, 1e-9);
+}
+
+TEST_F(ReportFixture, UtilizationBounded) {
+  dvfs::StretchOnline(schedule_, ex_.probs);
+  const ScheduleReport report = BuildReport(schedule_, ex_.probs);
+  for (const PeReport& pe : report.pes) {
+    EXPECT_GE(pe.expected_utilization, 0.0);
+    // Expected utilization can exceed 1 only if mutually exclusive tasks
+    // overlapped more than their probabilities admit — impossible, since
+    // co-PE mutex overlap carries disjoint activation probability mass.
+    EXPECT_LE(pe.expected_utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST_F(ReportFixture, WriteReportRendersEveryPe) {
+  const ScheduleReport report = BuildReport(schedule_, ex_.probs);
+  std::ostringstream os;
+  WriteReport(os, report);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("makespan"), std::string::npos);
+  for (const PeReport& pe : report.pes) {
+    EXPECT_NE(out.find("PE" + std::to_string(pe.pe.value)),
+              std::string::npos);
+  }
+}
+
+TEST(ReportSweep, UtilizationInvariantOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    tgff::RandomCtgParams params;
+    params.task_count = 20;
+    params.fork_count = 2;
+    params.seed = seed;
+    tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+    apps::AssignDeadline(rc.graph, rc.platform, 1.4);
+    const ctg::ActivationAnalysis analysis(rc.graph);
+    const auto probs = apps::UniformProbabilities(rc.graph);
+    sched::Schedule s =
+        sched::RunDls(rc.graph, analysis, rc.platform, probs);
+    dvfs::StretchOnline(s, probs);
+    const ScheduleReport report = BuildReport(s, probs);
+    double busy = 0.0;
+    for (const PeReport& pe : report.pes) {
+      EXPECT_LE(pe.expected_utilization, 1.0 + 1e-9);
+      busy += pe.expected_busy_ms;
+    }
+    EXPECT_GT(busy, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace actg::sim

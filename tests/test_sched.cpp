@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/common.h"
+#include "apps/fig1_example.h"
+#include "ctg/activation.h"
+#include "sched/dls.h"
+#include "sched/static_level.h"
+#include "tgff/random_ctg.h"
+#include "util/error.h"
+
+namespace actg::sched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Static levels
+
+TEST(StaticLevel, ChainIsSuffixSumOfAverageWcet) {
+  ctg::CtgBuilder b;
+  const TaskId x = b.AddTask("x");
+  const TaskId y = b.AddTask("y");
+  const TaskId z = b.AddTask("z");
+  b.AddEdge(x, y);
+  b.AddEdge(y, z);
+  const ctg::Ctg g = std::move(b).Build();
+  arch::PlatformBuilder pb(3, 2);
+  const double wcet[3][2] = {{10, 14}, {6, 10}, {4, 4}};
+  for (int t = 0; t < 3; ++t) {
+    for (int p = 0; p < 2; ++p) {
+      pb.SetTaskCost(TaskId{t}, PeId{p}, wcet[t][p], 1.0);
+    }
+  }
+  const arch::Platform platform = std::move(pb).Build();
+  ctg::BranchProbabilities probs(3);
+  const auto levels = ComputeStaticLevels(
+      g, platform, probs, LevelPolicy::kProbabilityWeighted);
+  EXPECT_DOUBLE_EQ(levels[z.index()], 4.0);
+  EXPECT_DOUBLE_EQ(levels[y.index()], 8.0 + 4.0);
+  EXPECT_DOUBLE_EQ(levels[x.index()], 12.0 + 12.0);
+}
+
+TEST(StaticLevel, BranchingNodeWeightsByProbability) {
+  ctg::CtgBuilder b;
+  const TaskId f = b.AddTask("fork");
+  const TaskId heavy = b.AddTask("heavy");
+  const TaskId light = b.AddTask("light");
+  b.AddConditionalEdge(f, heavy, 0);
+  b.AddConditionalEdge(f, light, 1);
+  const ctg::Ctg g = std::move(b).Build();
+  arch::PlatformBuilder pb(3, 1);
+  pb.SetTaskCost(TaskId{0}, PeId{0}, 2.0, 1.0);
+  pb.SetTaskCost(TaskId{1}, PeId{0}, 30.0, 1.0);
+  pb.SetTaskCost(TaskId{2}, PeId{0}, 10.0, 1.0);
+  const arch::Platform platform = std::move(pb).Build();
+  ctg::BranchProbabilities probs(3);
+  probs.Set(f, {0.25, 0.75});
+
+  const auto weighted = ComputeStaticLevels(
+      g, platform, probs, LevelPolicy::kProbabilityWeighted);
+  EXPECT_DOUBLE_EQ(weighted[f.index()],
+                   2.0 + 0.25 * 30.0 + 0.75 * 10.0);
+
+  const auto worst = ComputeStaticLevels(g, platform, probs,
+                                         LevelPolicy::kWorstCase);
+  EXPECT_DOUBLE_EQ(worst[f.index()], 2.0 + 30.0);
+}
+
+TEST(StaticLevel, UnconditionalSuccessorFloorsTheWeightedSum) {
+  ctg::CtgBuilder b;
+  const TaskId f = b.AddTask("fork");
+  const TaskId arm0 = b.AddTask("arm0");
+  const TaskId arm1 = b.AddTask("arm1");
+  const TaskId always = b.AddTask("always");
+  b.AddConditionalEdge(f, arm0, 0);
+  b.AddConditionalEdge(f, arm1, 1);
+  b.AddEdge(f, always);
+  const ctg::Ctg g = std::move(b).Build();
+  arch::PlatformBuilder pb(4, 1);
+  pb.SetTaskCost(TaskId{0}, PeId{0}, 1.0, 1.0);
+  pb.SetTaskCost(TaskId{1}, PeId{0}, 4.0, 1.0);
+  pb.SetTaskCost(TaskId{2}, PeId{0}, 2.0, 1.0);
+  pb.SetTaskCost(TaskId{3}, PeId{0}, 50.0, 1.0);
+  const arch::Platform platform = std::move(pb).Build();
+  ctg::BranchProbabilities probs(4);
+  probs.Set(f, {0.5, 0.5});
+  const auto levels = ComputeStaticLevels(
+      g, platform, probs, LevelPolicy::kProbabilityWeighted);
+  // The unconditional successor (level 50) dominates the weighted arms.
+  EXPECT_DOUBLE_EQ(levels[f.index()], 1.0 + 50.0);
+}
+
+// ---------------------------------------------------------------------------
+// DLS on the Fig. 1 example
+
+class Fig1Dls : public ::testing::Test {
+ protected:
+  Fig1Dls() : ex_(apps::MakeFig1Example()), analysis_(ex_.graph) {}
+  apps::Fig1Example ex_;
+  ctg::ActivationAnalysis analysis_;
+};
+
+TEST_F(Fig1Dls, ScheduleValidatesAndCoversAllTasks) {
+  const Schedule s =
+      RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs);
+  s.Validate();
+  for (TaskId t : ex_.graph.TaskIds()) {
+    EXPECT_TRUE(s.placement(t).pe.valid());
+    EXPECT_GE(s.placement(t).order_index, 0);
+    EXPECT_DOUBLE_EQ(s.placement(t).speed_ratio, 1.0);
+  }
+}
+
+TEST_F(Fig1Dls, CommitOrderIsAPermutation) {
+  const Schedule s =
+      RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs);
+  std::vector<bool> seen(ex_.graph.task_count(), false);
+  for (TaskId t : ex_.graph.TaskIds()) {
+    const int order = s.placement(t).order_index;
+    ASSERT_GE(order, 0);
+    ASSERT_LT(order, static_cast<int>(ex_.graph.task_count()));
+    EXPECT_FALSE(seen[static_cast<std::size_t>(order)]);
+    seen[static_cast<std::size_t>(order)] = true;
+  }
+}
+
+TEST_F(Fig1Dls, SourceStartsAtZero) {
+  const Schedule s =
+      RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs);
+  EXPECT_DOUBLE_EQ(s.placement(ex_.tau(1)).start_ms, 0.0);
+}
+
+TEST_F(Fig1Dls, OrNodeWaitsForFork) {
+  // Paper Example 1: τ8 must wait until τ3 finishes in every case.
+  const Schedule s =
+      RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs);
+  EXPECT_GE(s.placement(ex_.tau(8)).start_ms,
+            s.placement(ex_.tau(3)).finish_ms - 1e-9);
+}
+
+TEST_F(Fig1Dls, ControlEdgeMaterializedFromAnalysis) {
+  const Schedule s =
+      RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs);
+  bool found = false;
+  for (const ExtraEdge& e : s.control_edges()) {
+    if (e.src == ex_.tau(3) && e.dst == ex_.tau(8)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(Fig1Dls, MutexTasksMayOverlapOnOnePe) {
+  // Force a single-PE platform: τ4 and τ5..τ7 are mutually exclusive and
+  // must be able to share the PE window.
+  arch::PlatformBuilder pb(8, 1);
+  for (int t = 0; t < 8; ++t) {
+    pb.SetTaskCost(TaskId{t}, PeId{0},
+                   ex_.platform.Wcet(TaskId{t}, PeId{0}),
+                   ex_.platform.Energy(TaskId{t}, PeId{0}));
+  }
+  const arch::Platform single = std::move(pb).Build();
+  const Schedule aware =
+      RunDls(ex_.graph, analysis_, single, ex_.probs);
+  DlsOptions blind;
+  blind.mutex_aware = false;
+  const Schedule serial =
+      RunDls(ex_.graph, analysis_, single, ex_.probs, blind);
+  aware.Validate();
+  serial.Validate();
+  // Serializing mutually exclusive tasks can only lengthen the schedule.
+  EXPECT_LE(aware.Makespan(), serial.Makespan() + 1e-9);
+  EXPECT_LT(aware.Makespan(), serial.Makespan() - 1e-9);
+}
+
+TEST_F(Fig1Dls, FixedMappingIsRespected) {
+  std::vector<PeId> mapping(ex_.graph.task_count(), PeId{1});
+  DlsOptions options;
+  options.fixed_mapping = &mapping;
+  const Schedule s =
+      RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs, options);
+  for (TaskId t : ex_.graph.TaskIds()) {
+    EXPECT_EQ(s.placement(t).pe, PeId{1});
+  }
+}
+
+TEST_F(Fig1Dls, RoundRobinMappingCyclesPes) {
+  const auto mapping = RoundRobinMapping(ex_.graph, ex_.platform);
+  ASSERT_EQ(mapping.size(), ex_.graph.task_count());
+  int count0 = 0;
+  for (PeId pe : mapping) {
+    if (pe == PeId{0}) ++count0;
+  }
+  EXPECT_EQ(count0, 4);  // 8 tasks over 2 PEs
+}
+
+TEST_F(Fig1Dls, RecomputeTimesIsIdempotent) {
+  Schedule s = RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs);
+  const double makespan = s.Makespan();
+  s.RecomputeTimes();
+  EXPECT_NEAR(s.Makespan(), makespan, 1e-9);
+  s.Validate();
+}
+
+TEST_F(Fig1Dls, ScaledWcetAndEnergyFollowSpeedRatio) {
+  Schedule s = RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs);
+  const TaskId t = ex_.tau(2);
+  const double nominal_wcet = s.NominalWcet(t);
+  const double nominal_energy = s.ScaledEnergy(t);
+  s.placement(t).speed_ratio = 0.5;
+  EXPECT_DOUBLE_EQ(s.ScaledWcet(t), 2.0 * nominal_wcet);
+  EXPECT_DOUBLE_EQ(s.ScaledEnergy(t), 0.25 * nominal_energy);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: every DLS configuration on every random CTG yields a
+// valid schedule.
+
+using SweepParam = std::tuple<int, tgff::Category, bool>;
+
+class DlsSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DlsSweep, ScheduleIsAlwaysValid) {
+  const auto [seed, category, mutex_aware] = GetParam();
+  tgff::RandomCtgParams params;
+  params.task_count = 22;
+  params.fork_count = 3;
+  params.pe_count = 3;
+  params.category = category;
+  params.seed = static_cast<std::uint64_t>(seed);
+  const tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  const ctg::ActivationAnalysis analysis(rc.graph);
+  const auto probs = apps::UniformProbabilities(rc.graph);
+  DlsOptions options;
+  options.mutex_aware = mutex_aware;
+  const Schedule s =
+      RunDls(rc.graph, analysis, rc.platform, probs, options);
+  s.Validate();
+
+  // Every data dependency is respected with communication delay.
+  for (EdgeId eid : rc.graph.EdgeIds()) {
+    const ctg::Edge& e = rc.graph.edge(eid);
+    EXPECT_GE(s.placement(e.dst).start_ms,
+              s.placement(e.src).finish_ms + s.EdgeCommTime(eid) - 1e-6);
+  }
+  // Pseudo edges only between same-PE pairs.
+  for (const ExtraEdge& e : s.pseudo_edges()) {
+    EXPECT_EQ(s.placement(e.src).pe, s.placement(e.dst).pe);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DlsSweep,
+    ::testing::Combine(::testing::Range(1, 9),
+                       ::testing::Values(tgff::Category::kForkJoin,
+                                         tgff::Category::kFlat),
+                       ::testing::Bool()));
+
+TEST(Deadline, AssignDeadlineScalesNominalMakespan) {
+  tgff::RandomCtgParams params;
+  params.task_count = 15;
+  params.fork_count = 2;
+  params.seed = 5;
+  tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  const double deadline = apps::AssignDeadline(rc.graph, rc.platform, 1.5);
+  EXPECT_DOUBLE_EQ(rc.graph.deadline_ms(), deadline);
+  const ctg::ActivationAnalysis analysis(rc.graph);
+  const Schedule s = RunDls(rc.graph, analysis, rc.platform,
+                            apps::UniformProbabilities(rc.graph));
+  EXPECT_NEAR(deadline, 1.5 * s.Makespan(), 1e-6);
+  EXPECT_THROW(apps::AssignDeadline(rc.graph, rc.platform, 0.5),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace actg::sched

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/common.h"
+#include "apps/fig1_example.h"
+#include "dvfs/stretch.h"
+#include "sched/dls.h"
+#include "sim/energy.h"
+#include "sim/executor.h"
+#include "tgff/random_ctg.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace actg::sim {
+namespace {
+
+class Fig1Sim : public ::testing::Test {
+ protected:
+  Fig1Sim()
+      : ex_(apps::MakeFig1Example()),
+        analysis_(ex_.graph),
+        schedule_(sched::RunDls(ex_.graph, analysis_, ex_.platform,
+                                ex_.probs)) {}
+
+  ctg::BranchAssignment Assign(int a, int b) const {
+    ctg::BranchAssignment asg(ex_.graph.task_count());
+    if (a >= 0) asg.Set(ex_.tau(3), a);
+    if (b >= 0) asg.Set(ex_.tau(5), b);
+    return asg;
+  }
+
+  apps::Fig1Example ex_;
+  ctg::ActivationAnalysis analysis_;
+  sched::Schedule schedule_;
+};
+
+TEST_F(Fig1Sim, ActiveSetsPerScenario) {
+  // a1: τ1,τ2,τ3,τ4,τ8 active (5 tasks).
+  EXPECT_EQ(ExecuteInstance(schedule_, Assign(0, -1)).active_tasks, 5u);
+  // a2b1: τ1,τ2,τ3,τ5,τ6,τ8 (6 tasks).
+  EXPECT_EQ(ExecuteInstance(schedule_, Assign(1, 0)).active_tasks, 6u);
+  // a2b2: τ1,τ2,τ3,τ5,τ7,τ8 (6 tasks).
+  EXPECT_EQ(ExecuteInstance(schedule_, Assign(1, 1)).active_tasks, 6u);
+}
+
+TEST_F(Fig1Sim, EnergySumsActiveTasksOnly) {
+  const InstanceResult a1 = ExecuteInstance(schedule_, Assign(0, -1));
+  // Recompute by hand: active tasks 1,2,3,4,8 plus taken edges.
+  double expected = 0.0;
+  for (int i : {1, 2, 3, 4, 8}) {
+    expected += schedule_.ScaledEnergy(ex_.tau(i));
+  }
+  for (EdgeId eid : ex_.graph.EdgeIds()) {
+    const ctg::Edge& e = ex_.graph.edge(eid);
+    const bool src_active =
+        e.src == ex_.tau(5) || e.src == ex_.tau(6) || e.src == ex_.tau(7)
+            ? false
+            : true;
+    const bool taken =
+        !e.condition.has_value() || e.condition->outcome == 0;
+    const bool dst_active = e.dst != ex_.tau(5) && e.dst != ex_.tau(6) &&
+                            e.dst != ex_.tau(7);
+    if (src_active && dst_active && taken) {
+      expected += schedule_.EdgeCommEnergy(eid);
+    }
+  }
+  EXPECT_NEAR(a1.energy_mj, expected, 1e-9);
+}
+
+TEST_F(Fig1Sim, MakespanNeverExceedsStaticWorstCase) {
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const InstanceResult r = ExecuteInstance(schedule_, Assign(a, b));
+      EXPECT_LE(r.makespan_ms, schedule_.Makespan() + 1e-6);
+      EXPECT_GT(r.makespan_ms, 0.0);
+    }
+  }
+}
+
+TEST_F(Fig1Sim, OrNodeWaitsForForkAtRuntime) {
+  // Under a1-false, τ8 still cannot start before τ3 resolves: its start
+  // is >= τ3's finish, so the makespan reflects the control edge.
+  const InstanceResult r = ExecuteInstance(schedule_, Assign(1, 0));
+  EXPECT_GE(r.makespan_ms,
+            schedule_.placement(ex_.tau(3)).finish_ms - 1e-9);
+}
+
+TEST_F(Fig1Sim, DeadlineFlagHonorsGraphDeadline) {
+  const InstanceResult r = ExecuteInstance(schedule_, Assign(0, -1));
+  EXPECT_TRUE(r.deadline_met);
+}
+
+TEST_F(Fig1Sim, ExpectedEnergyMatchesScenarioMixture) {
+  // E[energy] must equal Σ_scenario P(scenario)·energy(scenario).
+  const double expected = ExpectedEnergy(schedule_, ex_.probs);
+  double mixture = 0.0;
+  for (const ctg::Scenario& s : analysis_.EnumerateScenarios(ex_.probs)) {
+    const auto assignment =
+        AssignmentFromScenario(ex_.graph, s.assignment);
+    mixture +=
+        s.probability * ExecuteInstance(schedule_, assignment).energy_mj;
+  }
+  EXPECT_NEAR(expected, mixture, 1e-9);
+}
+
+TEST_F(Fig1Sim, ExpectedEnergyMatchesMonteCarlo) {
+  util::Random rng(77);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int a = rng.Bernoulli(0.6) ? 1 : 0;   // prob(a1)=0.4
+    const int b = rng.Bernoulli(0.5) ? 1 : 0;
+    total += ExecuteInstance(schedule_, Assign(a, b)).energy_mj;
+  }
+  const double mc = total / n;
+  const double analytic = ExpectedEnergy(schedule_, ex_.probs);
+  EXPECT_NEAR(mc, analytic, analytic * 0.02);
+}
+
+TEST_F(Fig1Sim, ComputeEnergyExcludesCommunication) {
+  EXPECT_LT(ExpectedComputeEnergy(schedule_, ex_.probs),
+            ExpectedEnergy(schedule_, ex_.probs));
+}
+
+TEST_F(Fig1Sim, ScenarioEnergyOrderingMatchesGuards) {
+  // The a1 scenario runs fewer/cheaper tasks than a2b2 in this example.
+  const ctg::Minterm a1(ctg::Condition{ex_.tau(3), 0});
+  const auto a2b2 = *ctg::Minterm(ctg::Condition{ex_.tau(3), 1})
+                         .Conjoin(ctg::Minterm(ctg::Condition{ex_.tau(5), 1}));
+  const double e_a1 = ScenarioEnergy(schedule_, a1);
+  const double e_a2b2 = ScenarioEnergy(schedule_, a2b2);
+  EXPECT_GT(e_a1, 0.0);
+  EXPECT_GT(e_a2b2, 0.0);
+  EXPECT_NE(e_a1, e_a2b2);
+}
+
+TEST_F(Fig1Sim, ScenarioEnergyMatchesInstanceExecution) {
+  for (const ctg::Minterm& scenario :
+       analysis_.EnumerateScenarioAssignments()) {
+    const auto assignment = AssignmentFromScenario(ex_.graph, scenario);
+    EXPECT_NEAR(ScenarioEnergy(schedule_, scenario),
+                ExecuteInstance(schedule_, assignment).energy_mj, 1e-9);
+  }
+}
+
+TEST_F(Fig1Sim, StretchingLowersInstanceEnergyEverywhere) {
+  sched::Schedule stretched =
+      sched::RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs);
+  dvfs::StretchOnline(stretched, ex_.probs);
+  for (const ctg::Minterm& scenario :
+       analysis_.EnumerateScenarioAssignments()) {
+    const auto assignment = AssignmentFromScenario(ex_.graph, scenario);
+    EXPECT_LE(ExecuteInstance(stretched, assignment).energy_mj,
+              ExecuteInstance(schedule_, assignment).energy_mj + 1e-9);
+  }
+}
+
+TEST_F(Fig1Sim, RunTraceAggregates) {
+  trace::BranchTrace trace(ex_.graph.task_count());
+  trace.Append(Assign(0, -1));
+  trace.Append(Assign(1, 0));
+  trace.Append(Assign(1, 1));
+  const RunSummary summary = RunTrace(schedule_, trace);
+  EXPECT_EQ(summary.instances, 3u);
+  EXPECT_EQ(summary.deadline_misses, 0u);
+  const double expected =
+      ExecuteInstance(schedule_, Assign(0, -1)).energy_mj +
+      ExecuteInstance(schedule_, Assign(1, 0)).energy_mj +
+      ExecuteInstance(schedule_, Assign(1, 1)).energy_mj;
+  EXPECT_NEAR(summary.total_energy_mj, expected, 1e-9);
+  EXPECT_NEAR(summary.AverageEnergy(), expected / 3.0, 1e-9);
+}
+
+TEST_F(Fig1Sim, MaxScenarioMakespanBoundsEveryInstance) {
+  const double worst = MaxScenarioMakespan(schedule_);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      EXPECT_LE(ExecuteInstance(schedule_, Assign(a, b)).makespan_ms,
+                worst + 1e-9);
+    }
+  }
+  EXPECT_LE(worst, schedule_.Makespan() + 1e-6);
+}
+
+TEST(SimSweep, ExpectedEnergyMatchesScenarioMixtureOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (auto category :
+         {tgff::Category::kForkJoin, tgff::Category::kFlat}) {
+      tgff::RandomCtgParams params;
+      params.task_count = 18;
+      params.fork_count = 2;
+      params.category = category;
+      params.seed = seed;
+      tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+      apps::AssignDeadline(rc.graph, rc.platform, 1.4);
+      const ctg::ActivationAnalysis analysis(rc.graph);
+      ctg::BranchProbabilities probs(rc.graph.task_count());
+      util::Random rng(seed);
+      for (TaskId f : rc.graph.ForkIds()) {
+        const double p = rng.Uniform(0.1, 0.9);
+        probs.Set(f, {p, 1.0 - p});
+      }
+      sched::Schedule s =
+          sched::RunDls(rc.graph, analysis, rc.platform, probs);
+      dvfs::StretchOnline(s, probs);
+      double mixture = 0.0;
+      for (const ctg::Scenario& sc : analysis.EnumerateScenarios(probs)) {
+        mixture += sc.probability *
+                   ExecuteInstance(
+                       s, AssignmentFromScenario(rc.graph, sc.assignment))
+                       .energy_mj;
+      }
+      EXPECT_NEAR(ExpectedEnergy(s, probs), mixture, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace actg::sim

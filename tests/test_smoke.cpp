@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "adaptive/controller.h"
+#include "apps/common.h"
+#include "apps/cruise.h"
+#include "apps/fig1_example.h"
+#include "apps/mpeg.h"
+#include "dvfs/paths.h"
+#include "dvfs/stretch.h"
+#include "sched/dls.h"
+#include "sim/energy.h"
+#include "sim/executor.h"
+#include "tgff/random_ctg.h"
+
+using namespace actg;
+
+TEST(Smoke, Fig1Pipeline) {
+  apps::Fig1Example ex = apps::MakeFig1Example();
+  ctg::ActivationAnalysis analysis(ex.graph);
+  sched::Schedule s = sched::RunDls(ex.graph, analysis, ex.platform, ex.probs);
+  s.Validate();
+  const double before = sim::ExpectedEnergy(s, ex.probs);
+  dvfs::StretchStats stats = dvfs::StretchOnline(s, ex.probs);
+  s.Validate();
+  const double after = sim::ExpectedEnergy(s, ex.probs);
+  EXPECT_LT(after, before);
+  EXPECT_LE(stats.max_path_delay_ms, ex.graph.deadline_ms() + 1e-6);
+  EXPECT_LE(sim::MaxScenarioMakespan(s), ex.graph.deadline_ms() + 1e-6);
+}
+
+TEST(Smoke, MpegModel) {
+  apps::MpegModel m = apps::MakeMpegModel();
+  EXPECT_EQ(m.graph.task_count(), 40u);
+  EXPECT_EQ(m.graph.ForkIds().size(), 9u);
+  ctg::ActivationAnalysis analysis(m.graph);
+  auto probs = apps::UniformProbabilities(m.graph);
+  sched::Schedule s = sched::RunDls(m.graph, analysis, m.platform, probs);
+  s.Validate();
+  dvfs::StretchOnline(s, probs);
+  s.Validate();
+  EXPECT_LE(sim::MaxScenarioMakespan(s), m.graph.deadline_ms() + 1e-6);
+  dvfs::PathSet paths(s);
+  fprintf(stderr, "MPEG paths: %zu makespan %.2f deadline %.2f\n",
+          paths.size(), s.Makespan(), m.graph.deadline_ms());
+}
+
+TEST(Smoke, CruiseAdaptive) {
+  apps::CruiseModel m = apps::MakeCruiseModel();
+  EXPECT_EQ(m.graph.task_count(), 32u);
+  ctg::ActivationAnalysis analysis(m.graph);
+  auto trace = apps::GenerateRoadTrace(m, 1, 500, 42);
+  auto probs = trace.ProfiledProbabilities(m.graph);
+  adaptive::AdaptiveController ctrl(m.graph, analysis, m.platform, probs,
+                                    adaptive::AdaptiveOptions{20, 0.1, {}, {}});
+  sim::RunSummary summary = adaptive::RunAdaptive(ctrl, trace);
+  EXPECT_EQ(summary.deadline_misses, 0u);
+  fprintf(stderr, "cruise adaptive calls=%zu energy=%.1f\n",
+          ctrl.reschedule_count(), summary.total_energy_mj);
+}
+
+TEST(Smoke, RandomCtgAllStretchers) {
+  for (auto category : {tgff::Category::kForkJoin, tgff::Category::kFlat}) {
+    tgff::RandomCtgParams params;
+    params.task_count = 25;
+    params.fork_count = 3;
+    params.pe_count = 3;
+    params.category = category;
+    params.seed = 7;
+    tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+    apps::AssignDeadline(rc.graph, rc.platform, 1.8);
+    ctg::ActivationAnalysis analysis(rc.graph);
+    auto probs = apps::UniformProbabilities(rc.graph);
+    for (int mode = 0; mode < 3; ++mode) {
+      sched::Schedule s = sched::RunDls(rc.graph, analysis, rc.platform, probs);
+      s.Validate();
+      if (mode == 0) dvfs::StretchOnline(s, probs);
+      if (mode == 1) dvfs::StretchProportional(s);
+      if (mode == 2) dvfs::StretchNlp(s, probs);
+      s.Validate();
+      EXPECT_LE(sim::MaxScenarioMakespan(s), rc.graph.deadline_ms() + 1e-6)
+          << "category " << static_cast<int>(category) << " mode " << mode;
+      fprintf(stderr, "cat%d mode%d E=%.1f\n", static_cast<int>(category),
+              mode, sim::ExpectedEnergy(s, probs));
+    }
+  }
+}

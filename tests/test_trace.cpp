@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "apps/fig1_example.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace actg::trace {
+namespace {
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  TraceFixture() : ex_(apps::MakeFig1Example()) {}
+  TaskId ForkA() const { return ex_.tau(3); }
+  TaskId ForkB() const { return ex_.tau(5); }
+
+  ctg::BranchAssignment Assign(int a, int b) const {
+    ctg::BranchAssignment asg(ex_.graph.task_count());
+    if (a >= 0) asg.Set(ForkA(), a);
+    if (b >= 0) asg.Set(ForkB(), b);
+    return asg;
+  }
+
+  apps::Fig1Example ex_;
+};
+
+TEST_F(TraceFixture, AppendAndAccess) {
+  BranchTrace t(ex_.graph.task_count());
+  EXPECT_TRUE(t.empty());
+  t.Append(Assign(0, -1));
+  t.Append(Assign(1, 0));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.At(1).Get(ForkA()), 1);
+  EXPECT_THROW(t.At(2), InvalidArgument);
+}
+
+TEST_F(TraceFixture, SizeMismatchRejected) {
+  BranchTrace t(4);
+  EXPECT_THROW(t.Append(Assign(0, 0)), InvalidArgument);
+}
+
+TEST_F(TraceFixture, EmpiricalProbabilityCountsResolvedOnly) {
+  BranchTrace t(ex_.graph.task_count());
+  t.Append(Assign(0, -1));
+  t.Append(Assign(0, -1));
+  t.Append(Assign(1, 0));
+  t.Append(Assign(1, 1));
+  EXPECT_DOUBLE_EQ(t.EmpiricalProbability(ForkA(), 0), 0.5);
+  // Fork B resolved in only 2 of 4 instances.
+  EXPECT_DOUBLE_EQ(t.EmpiricalProbability(ForkB(), 0), 0.5);
+  EXPECT_DOUBLE_EQ(t.EmpiricalProbability(ForkA(), 1, 0, 2), 0.0);
+}
+
+TEST_F(TraceFixture, SliceIsHalfOpen) {
+  BranchTrace t(ex_.graph.task_count());
+  for (int i = 0; i < 6; ++i) t.Append(Assign(i % 2, -1));
+  const BranchTrace mid = t.Slice(2, 5);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.At(0).Get(ForkA()), 0);
+  EXPECT_THROW(t.Slice(4, 2), InvalidArgument);
+  EXPECT_THROW(t.Slice(0, 9), InvalidArgument);
+}
+
+TEST_F(TraceFixture, ProfiledProbabilitiesMatchCounts) {
+  BranchTrace t(ex_.graph.task_count());
+  for (int i = 0; i < 10; ++i) t.Append(Assign(i < 7 ? 0 : 1, -1));
+  const auto probs = t.ProfiledProbabilities(ex_.graph);
+  EXPECT_NEAR(probs.Outcome(ForkA(), 0), 0.7, 1e-12);
+  // Fork B never resolved -> uniform prior.
+  EXPECT_NEAR(probs.Outcome(ForkB(), 0), 0.5, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Probability processes
+
+TEST(ConstantProcess, AlwaysSameDistribution) {
+  util::Random rng(1);
+  ConstantProcess p({0.3, 0.7});
+  for (int i = 0; i < 5; ++i) {
+    const auto d = p.Step(rng);
+    EXPECT_DOUBLE_EQ(d[0], 0.3);
+    EXPECT_DOUBLE_EQ(d[1], 0.7);
+  }
+  EXPECT_EQ(p.outcome_count(), 2);
+}
+
+TEST(ConstantProcess, ValidatesDistribution) {
+  EXPECT_THROW(ConstantProcess({1.0}), InvalidArgument);
+  EXPECT_THROW(ConstantProcess({0.6, 0.6}), InvalidArgument);
+}
+
+TEST(RandomWalkProcess, StaysNormalizedAndBounded) {
+  util::Random rng(2);
+  RandomWalkProcess::Params params;
+  params.initial_weights = {0.5, 0.5};
+  params.step_sigma = 0.1;
+  params.jump_probability = 0.05;
+  RandomWalkProcess p(params);
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = p.Step(rng);
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_NEAR(d[0] + d[1], 1.0, 1e-12);
+    EXPECT_GT(d[0], 0.0);
+    EXPECT_LT(d[0], 1.0);
+  }
+}
+
+TEST(RandomWalkProcess, ZeroSigmaNoJumpIsConstant) {
+  util::Random rng(3);
+  RandomWalkProcess::Params params;
+  params.initial_weights = {0.4, 0.8};
+  params.step_sigma = 0.0;
+  RandomWalkProcess p(params);
+  const auto first = p.Step(rng);
+  const auto later = p.Step(rng);
+  EXPECT_DOUBLE_EQ(first[0], later[0]);
+  EXPECT_NEAR(first[0], 0.4 / 1.2, 1e-12);
+}
+
+TEST(RandomWalkProcess, ValidatesParams) {
+  RandomWalkProcess::Params params;
+  params.initial_weights = {0.5, 0.5};
+  params.floor = 0.0;
+  EXPECT_THROW((RandomWalkProcess{params}), InvalidArgument);
+  params.floor = 0.05;
+  params.initial_weights = {0.01, 0.5};  // below floor
+  EXPECT_THROW((RandomWalkProcess{params}), InvalidArgument);
+}
+
+TEST(PiecewiseProcess, CyclesThroughRegimes) {
+  util::Random rng(4);
+  PiecewiseProcess p({{{0.9, 0.1}, 2}, {{0.2, 0.8}, 1}});
+  EXPECT_DOUBLE_EQ(p.Step(rng)[0], 0.9);
+  EXPECT_DOUBLE_EQ(p.Step(rng)[0], 0.9);
+  EXPECT_DOUBLE_EQ(p.Step(rng)[0], 0.2);
+  EXPECT_DOUBLE_EQ(p.Step(rng)[0], 0.9);  // wraps around
+}
+
+TEST(PiecewiseProcess, ValidatesRegimes) {
+  EXPECT_THROW(PiecewiseProcess({}), InvalidArgument);
+  EXPECT_THROW(PiecewiseProcess({{{0.9, 0.1}, 0}}), InvalidArgument);
+  EXPECT_THROW(PiecewiseProcess({{{0.9, 0.1}, 1}, {{0.2, 0.3, 0.5}, 1}}),
+               InvalidArgument);
+}
+
+TEST(SinusoidProcess, OscillatesAroundCenterWithAmplitude) {
+  util::Random rng(5);
+  SinusoidProcess::Params params;
+  params.center = 0.5;
+  params.amplitude = 0.3;
+  params.period = 40.0;
+  SinusoidProcess p(params);
+  util::RunningStats stats;
+  for (int i = 0; i < 400; ++i) stats.Add(p.Step(rng)[0]);
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.max(), 0.8, 0.01);
+  EXPECT_NEAR(stats.min(), 0.2, 0.01);
+}
+
+TEST(SinusoidProcess, ResidualSplitsAcrossOutcomes) {
+  util::Random rng(6);
+  SinusoidProcess::Params params;
+  params.outcomes = 3;
+  params.amplitude = 0.0;
+  SinusoidProcess p(params);
+  const auto d = p.Step(rng);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_NEAR(d[0], 0.5, 1e-12);
+  EXPECT_NEAR(d[1], 0.25, 1e-12);
+  EXPECT_NEAR(d[2], 0.25, 1e-12);
+}
+
+TEST(SinusoidProcess, ValidatesRange) {
+  SinusoidProcess::Params params;
+  params.center = 0.5;
+  params.amplitude = 0.6;  // would leave [0, 1]
+  EXPECT_THROW((SinusoidProcess{params}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// TraceGenerator
+
+TEST_F(TraceFixture, GeneratorRequiresAllForks) {
+  TraceGenerator gen(ex_.graph);
+  EXPECT_FALSE(gen.Complete());
+  gen.SetProcess(ForkA(),
+                 std::make_unique<ConstantProcess>(
+                     std::vector<double>{0.5, 0.5}));
+  EXPECT_FALSE(gen.Complete());
+  util::Random rng(7);
+  EXPECT_THROW(gen.Generate(10, rng), InvalidArgument);
+  gen.SetProcess(ForkB(),
+                 std::make_unique<ConstantProcess>(
+                     std::vector<double>{0.5, 0.5}));
+  EXPECT_TRUE(gen.Complete());
+  EXPECT_EQ(gen.Generate(10, rng).size(), 10u);
+}
+
+TEST_F(TraceFixture, GeneratorRejectsArityMismatch) {
+  TraceGenerator gen(ex_.graph);
+  EXPECT_THROW(
+      gen.SetProcess(ForkA(), std::make_unique<ConstantProcess>(
+                                  std::vector<double>{0.2, 0.3, 0.5})),
+      InvalidArgument);
+  EXPECT_THROW(
+      gen.SetProcess(ex_.tau(1), std::make_unique<ConstantProcess>(
+                                     std::vector<double>{0.5, 0.5})),
+      InvalidArgument);
+}
+
+TEST_F(TraceFixture, GeneratedFrequenciesMatchProcess) {
+  TraceGenerator gen(ex_.graph);
+  gen.SetProcess(ForkA(), std::make_unique<ConstantProcess>(
+                              std::vector<double>{0.8, 0.2}));
+  gen.SetProcess(ForkB(), std::make_unique<ConstantProcess>(
+                              std::vector<double>{0.3, 0.7}));
+  util::Random rng(8);
+  const BranchTrace t = gen.Generate(20000, rng);
+  EXPECT_NEAR(t.EmpiricalProbability(ForkA(), 0), 0.8, 0.01);
+  EXPECT_NEAR(t.EmpiricalProbability(ForkB(), 0), 0.3, 0.01);
+}
+
+TEST_F(TraceFixture, TrueProbabilityHistoryRecorded) {
+  TraceGenerator gen(ex_.graph);
+  gen.SetProcess(ForkA(), std::make_unique<ConstantProcess>(
+                              std::vector<double>{0.8, 0.2}));
+  gen.SetProcess(ForkB(), std::make_unique<ConstantProcess>(
+                              std::vector<double>{0.3, 0.7}));
+  util::Random rng(9);
+  gen.Generate(50, rng);
+  const auto& history = gen.TrueProbabilityHistory(ForkA());
+  ASSERT_EQ(history.size(), 50u);
+  EXPECT_DOUBLE_EQ(history[0], 0.8);
+  EXPECT_DOUBLE_EQ(history[49], 0.8);
+}
+
+TEST_F(TraceFixture, GenerationIsDeterministicInSeed) {
+  auto make = [&](std::uint64_t seed) {
+    TraceGenerator gen(ex_.graph);
+    RandomWalkProcess::Params params;
+    params.initial_weights = {0.5, 0.5};
+    params.step_sigma = 0.05;
+    gen.SetProcess(ForkA(),
+                   std::make_unique<RandomWalkProcess>(params));
+    gen.SetProcess(ForkB(),
+                   std::make_unique<RandomWalkProcess>(params));
+    util::Random rng(seed);
+    return gen.Generate(200, rng);
+  };
+  const BranchTrace a = make(42), b = make(42), c = make(43);
+  int diff_ab = 0, diff_ac = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.At(i).Get(ForkA()) != b.At(i).Get(ForkA())) ++diff_ab;
+    if (a.At(i).Get(ForkA()) != c.At(i).Get(ForkA())) ++diff_ac;
+  }
+  EXPECT_EQ(diff_ab, 0);
+  EXPECT_GT(diff_ac, 0);
+}
+
+
+TEST(MarkovProcess, ValidatesInputs) {
+  MarkovProcess::Params params;
+  params.state_dists = {{0.9, 0.1}, {0.2, 0.8}};
+  params.transitions = {{0.95, 0.05}, {0.1, 0.9}};
+  EXPECT_NO_THROW((MarkovProcess{params}));
+  params.transitions = {{0.95, 0.05}};
+  EXPECT_THROW((MarkovProcess{params}), InvalidArgument);
+  params.transitions = {{0.95, 0.15}, {0.1, 0.9}};  // row sums to 1.1
+  EXPECT_THROW((MarkovProcess{params}), InvalidArgument);
+  params.transitions = {{0.95, 0.05}, {0.1, 0.9}};
+  params.initial_state = 5;
+  EXPECT_THROW((MarkovProcess{params}), InvalidArgument);
+  params.initial_state = 0;
+  params.state_dists = {{0.9, 0.1}, {0.2, 0.3, 0.5}};  // arity mismatch
+  EXPECT_THROW((MarkovProcess{params}), InvalidArgument);
+}
+
+TEST(MarkovProcess, StationaryMixMatchesChain) {
+  // Two-state chain with stationary distribution (2/3, 1/3):
+  // transitions 0->1 at 0.1, 1->0 at 0.2.
+  MarkovProcess::Params params;
+  params.state_dists = {{0.9, 0.1}, {0.2, 0.8}};
+  params.transitions = {{0.9, 0.1}, {0.2, 0.8}};
+  MarkovProcess p(params);
+  util::Random rng(17);
+  double mean_p0 = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) mean_p0 += p.Step(rng)[0];
+  mean_p0 /= n;
+  // E[p0] = (2/3)*0.9 + (1/3)*0.2 = 0.6667.
+  EXPECT_NEAR(mean_p0, 2.0 / 3.0 * 0.9 + 1.0 / 3.0 * 0.2, 0.02);
+}
+
+TEST(MarkovProcess, DwellTimesAreGeometric) {
+  MarkovProcess::Params params;
+  params.state_dists = {{0.9, 0.1}, {0.2, 0.8}};
+  params.transitions = {{0.95, 0.05}, {0.05, 0.95}};
+  MarkovProcess p(params);
+  util::Random rng(18);
+  // Measure average run length of the hidden state; for stay-prob 0.95
+  // the mean dwell is 1/0.05 = 20.
+  int runs = 0, steps = 20000;
+  std::size_t last = p.state();
+  for (int i = 0; i < steps; ++i) {
+    p.Step(rng);
+    if (p.state() != last) {
+      ++runs;
+      last = p.state();
+    }
+  }
+  const double mean_dwell = static_cast<double>(steps) / (runs + 1);
+  EXPECT_NEAR(mean_dwell, 20.0, 4.0);
+}
+
+TEST_F(TraceFixture, MarkovProcessDrivesGenerator) {
+  TraceGenerator gen(ex_.graph);
+  MarkovProcess::Params params;
+  params.state_dists = {{0.9, 0.1}, {0.1, 0.9}};
+  params.transitions = {{0.98, 0.02}, {0.02, 0.98}};
+  gen.SetProcess(ForkA(), std::make_unique<MarkovProcess>(params));
+  gen.SetProcess(ForkB(), std::make_unique<MarkovProcess>(params));
+  util::Random rng(19);
+  const BranchTrace t = gen.Generate(2000, rng);
+  // Long-run average near 0.5 (symmetric chain), but windows cluster at
+  // the two modes.
+  EXPECT_NEAR(t.EmpiricalProbability(ForkA(), 0), 0.5, 0.15);
+  int extreme_windows = 0;
+  for (std::size_t begin = 0; begin + 100 <= t.size(); begin += 100) {
+    const double p = t.EmpiricalProbability(ForkA(), 0, begin, begin + 100);
+    if (p < 0.25 || p > 0.75) ++extreme_windows;
+  }
+  EXPECT_GT(extreme_windows, 5);
+}
+
+}  // namespace
+}  // namespace actg::trace
+
