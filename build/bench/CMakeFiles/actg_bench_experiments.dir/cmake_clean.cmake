@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_bench_experiments.dir/experiments.cpp.o"
+  "CMakeFiles/actg_bench_experiments.dir/experiments.cpp.o.d"
+  "libactg_bench_experiments.a"
+  "libactg_bench_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_bench_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

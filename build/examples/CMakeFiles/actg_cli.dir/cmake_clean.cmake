@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_cli.dir/actg_cli.cpp.o"
+  "CMakeFiles/actg_cli.dir/actg_cli.cpp.o.d"
+  "actg_cli"
+  "actg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

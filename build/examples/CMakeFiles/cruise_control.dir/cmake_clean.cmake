@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruise_control.dir/cruise_control.cpp.o"
+  "CMakeFiles/cruise_control.dir/cruise_control.cpp.o.d"
+  "cruise_control"
+  "cruise_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruise_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

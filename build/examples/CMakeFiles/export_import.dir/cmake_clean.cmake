@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_import.dir/export_import.cpp.o"
+  "CMakeFiles/export_import.dir/export_import.cpp.o.d"
+  "export_import"
+  "export_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

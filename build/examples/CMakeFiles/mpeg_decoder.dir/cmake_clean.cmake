@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg_decoder.dir/mpeg_decoder.cpp.o"
+  "CMakeFiles/mpeg_decoder.dir/mpeg_decoder.cpp.o.d"
+  "mpeg_decoder"
+  "mpeg_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/random_ctg_explorer.cpp" "examples/CMakeFiles/random_ctg_explorer.dir/random_ctg_explorer.cpp.o" "gcc" "examples/CMakeFiles/random_ctg_explorer.dir/random_ctg_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tgff/CMakeFiles/actg_tgff.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/actg_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/actg_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/actg_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/actg_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/actg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/actg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/actg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/actg_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/actg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctg/CMakeFiles/actg_ctg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/actg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

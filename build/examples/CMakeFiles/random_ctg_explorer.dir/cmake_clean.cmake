@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_ctg_explorer.dir/random_ctg_explorer.cpp.o"
+  "CMakeFiles/random_ctg_explorer.dir/random_ctg_explorer.cpp.o.d"
+  "random_ctg_explorer"
+  "random_ctg_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_ctg_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("ctg")
+subdirs("arch")
+subdirs("trace")
+subdirs("tgff")
+subdirs("apps")
+subdirs("sched")
+subdirs("dvfs")
+subdirs("profiling")
+subdirs("sim")
+subdirs("adaptive")
+subdirs("io")

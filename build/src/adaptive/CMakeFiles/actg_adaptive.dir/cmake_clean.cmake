@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_adaptive.dir/controller.cpp.o"
+  "CMakeFiles/actg_adaptive.dir/controller.cpp.o.d"
+  "libactg_adaptive.a"
+  "libactg_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_apps.dir/common.cpp.o"
+  "CMakeFiles/actg_apps.dir/common.cpp.o.d"
+  "CMakeFiles/actg_apps.dir/cruise.cpp.o"
+  "CMakeFiles/actg_apps.dir/cruise.cpp.o.d"
+  "CMakeFiles/actg_apps.dir/fig1_example.cpp.o"
+  "CMakeFiles/actg_apps.dir/fig1_example.cpp.o.d"
+  "CMakeFiles/actg_apps.dir/mpeg.cpp.o"
+  "CMakeFiles/actg_apps.dir/mpeg.cpp.o.d"
+  "libactg_apps.a"
+  "libactg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

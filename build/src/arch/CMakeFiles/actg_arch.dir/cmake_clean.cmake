@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_arch.dir/platform.cpp.o"
+  "CMakeFiles/actg_arch.dir/platform.cpp.o.d"
+  "libactg_arch.a"
+  "libactg_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

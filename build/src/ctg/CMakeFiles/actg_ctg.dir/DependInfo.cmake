@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctg/activation.cpp" "src/ctg/CMakeFiles/actg_ctg.dir/activation.cpp.o" "gcc" "src/ctg/CMakeFiles/actg_ctg.dir/activation.cpp.o.d"
+  "/root/repo/src/ctg/condition.cpp" "src/ctg/CMakeFiles/actg_ctg.dir/condition.cpp.o" "gcc" "src/ctg/CMakeFiles/actg_ctg.dir/condition.cpp.o.d"
+  "/root/repo/src/ctg/dot.cpp" "src/ctg/CMakeFiles/actg_ctg.dir/dot.cpp.o" "gcc" "src/ctg/CMakeFiles/actg_ctg.dir/dot.cpp.o.d"
+  "/root/repo/src/ctg/graph.cpp" "src/ctg/CMakeFiles/actg_ctg.dir/graph.cpp.o" "gcc" "src/ctg/CMakeFiles/actg_ctg.dir/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/actg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

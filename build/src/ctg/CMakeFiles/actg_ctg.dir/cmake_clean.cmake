@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_ctg.dir/activation.cpp.o"
+  "CMakeFiles/actg_ctg.dir/activation.cpp.o.d"
+  "CMakeFiles/actg_ctg.dir/condition.cpp.o"
+  "CMakeFiles/actg_ctg.dir/condition.cpp.o.d"
+  "CMakeFiles/actg_ctg.dir/dot.cpp.o"
+  "CMakeFiles/actg_ctg.dir/dot.cpp.o.d"
+  "CMakeFiles/actg_ctg.dir/graph.cpp.o"
+  "CMakeFiles/actg_ctg.dir/graph.cpp.o.d"
+  "libactg_ctg.a"
+  "libactg_ctg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_ctg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_dvfs.dir/algorithms.cpp.o"
+  "CMakeFiles/actg_dvfs.dir/algorithms.cpp.o.d"
+  "CMakeFiles/actg_dvfs.dir/paths.cpp.o"
+  "CMakeFiles/actg_dvfs.dir/paths.cpp.o.d"
+  "CMakeFiles/actg_dvfs.dir/stretch.cpp.o"
+  "CMakeFiles/actg_dvfs.dir/stretch.cpp.o.d"
+  "libactg_dvfs.a"
+  "libactg_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

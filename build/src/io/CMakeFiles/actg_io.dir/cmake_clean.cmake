@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_io.dir/text_format.cpp.o"
+  "CMakeFiles/actg_io.dir/text_format.cpp.o.d"
+  "libactg_io.a"
+  "libactg_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

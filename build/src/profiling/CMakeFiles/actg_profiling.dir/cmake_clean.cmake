@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_profiling.dir/window.cpp.o"
+  "CMakeFiles/actg_profiling.dir/window.cpp.o.d"
+  "libactg_profiling.a"
+  "libactg_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/dls.cpp" "src/sched/CMakeFiles/actg_sched.dir/dls.cpp.o" "gcc" "src/sched/CMakeFiles/actg_sched.dir/dls.cpp.o.d"
+  "/root/repo/src/sched/gantt.cpp" "src/sched/CMakeFiles/actg_sched.dir/gantt.cpp.o" "gcc" "src/sched/CMakeFiles/actg_sched.dir/gantt.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/actg_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/actg_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/static_level.cpp" "src/sched/CMakeFiles/actg_sched.dir/static_level.cpp.o" "gcc" "src/sched/CMakeFiles/actg_sched.dir/static_level.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/actg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctg/CMakeFiles/actg_ctg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/actg_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

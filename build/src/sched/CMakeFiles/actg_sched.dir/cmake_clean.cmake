@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_sched.dir/dls.cpp.o"
+  "CMakeFiles/actg_sched.dir/dls.cpp.o.d"
+  "CMakeFiles/actg_sched.dir/gantt.cpp.o"
+  "CMakeFiles/actg_sched.dir/gantt.cpp.o.d"
+  "CMakeFiles/actg_sched.dir/schedule.cpp.o"
+  "CMakeFiles/actg_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/actg_sched.dir/static_level.cpp.o"
+  "CMakeFiles/actg_sched.dir/static_level.cpp.o.d"
+  "libactg_sched.a"
+  "libactg_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

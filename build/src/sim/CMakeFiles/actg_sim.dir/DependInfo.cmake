@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/energy.cpp" "src/sim/CMakeFiles/actg_sim.dir/energy.cpp.o" "gcc" "src/sim/CMakeFiles/actg_sim.dir/energy.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/sim/CMakeFiles/actg_sim.dir/executor.cpp.o" "gcc" "src/sim/CMakeFiles/actg_sim.dir/executor.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/actg_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/actg_sim.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/actg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctg/CMakeFiles/actg_ctg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/actg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/actg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/actg_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

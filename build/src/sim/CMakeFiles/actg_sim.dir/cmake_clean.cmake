@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_sim.dir/energy.cpp.o"
+  "CMakeFiles/actg_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/actg_sim.dir/executor.cpp.o"
+  "CMakeFiles/actg_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/actg_sim.dir/report.cpp.o"
+  "CMakeFiles/actg_sim.dir/report.cpp.o.d"
+  "libactg_sim.a"
+  "libactg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_tgff.dir/random_ctg.cpp.o"
+  "CMakeFiles/actg_tgff.dir/random_ctg.cpp.o.d"
+  "libactg_tgff.a"
+  "libactg_tgff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_tgff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

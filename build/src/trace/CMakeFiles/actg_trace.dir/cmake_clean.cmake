@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_trace.dir/generators.cpp.o"
+  "CMakeFiles/actg_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/actg_trace.dir/trace.cpp.o"
+  "CMakeFiles/actg_trace.dir/trace.cpp.o.d"
+  "libactg_trace.a"
+  "libactg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actg_util.dir/csv.cpp.o"
+  "CMakeFiles/actg_util.dir/csv.cpp.o.d"
+  "CMakeFiles/actg_util.dir/error.cpp.o"
+  "CMakeFiles/actg_util.dir/error.cpp.o.d"
+  "CMakeFiles/actg_util.dir/rng.cpp.o"
+  "CMakeFiles/actg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/actg_util.dir/stats.cpp.o"
+  "CMakeFiles/actg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/actg_util.dir/table.cpp.o"
+  "CMakeFiles/actg_util.dir/table.cpp.o.d"
+  "libactg_util.a"
+  "libactg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

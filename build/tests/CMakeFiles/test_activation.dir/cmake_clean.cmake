@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_activation.dir/test_activation.cpp.o"
+  "CMakeFiles/test_activation.dir/test_activation.cpp.o.d"
+  "test_activation"
+  "test_activation.pdb"
+  "test_activation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_condition.dir/test_condition.cpp.o"
+  "CMakeFiles/test_condition.dir/test_condition.cpp.o.d"
+  "test_condition"
+  "test_condition.pdb"
+  "test_condition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_condition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

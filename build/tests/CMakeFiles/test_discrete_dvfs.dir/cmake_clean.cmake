@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_discrete_dvfs.dir/test_discrete_dvfs.cpp.o"
+  "CMakeFiles/test_discrete_dvfs.dir/test_discrete_dvfs.cpp.o.d"
+  "test_discrete_dvfs"
+  "test_discrete_dvfs.pdb"
+  "test_discrete_dvfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_discrete_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

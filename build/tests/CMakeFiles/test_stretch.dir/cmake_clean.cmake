@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stretch.dir/test_stretch.cpp.o"
+  "CMakeFiles/test_stretch.dir/test_stretch.cpp.o.d"
+  "test_stretch"
+  "test_stretch.pdb"
+  "test_stretch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tgff.dir/test_tgff.cpp.o"
+  "CMakeFiles/test_tgff.dir/test_tgff.cpp.o.d"
+  "test_tgff"
+  "test_tgff.pdb"
+  "test_tgff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tgff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

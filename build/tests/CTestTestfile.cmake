@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_condition[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_activation[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_tgff[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_stretch[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_profiling[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_discrete_dvfs[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_gantt[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
