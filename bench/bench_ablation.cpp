@@ -16,9 +16,12 @@
 #include "ctg/activation.h"
 #include "dvfs/stretch.h"
 #include "experiments.h"
+#include "runtime/pool.h"
+#include "runtime/schedule_cache.h"
 #include "sched/dls.h"
 #include "sim/energy.h"
 #include "sim/executor.h"
+#include "sim/report.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -53,9 +56,66 @@ double PipelineEnergy(const bench::TestCase& test,
   return sim::ExpectedEnergy(s, probs);
 }
 
+/// Totals of one (window, threshold) sweep over the ten CTGs, used by
+/// ablations D and E. The per-CTG runs are independent and go through
+/// the pool; each controller memoizes through its own schedule cache.
+struct SweepTotals {
+  double adaptive_total = 0.0;
+  double online_total = 0.0;
+  std::size_t calls = 0;
+};
+
+SweepTotals AdaptiveSweep(runtime::Pool& pool,
+                          const std::vector<bench::TestCase>& cases,
+                          std::size_t window, double threshold) {
+  struct SweepRow {
+    double adaptive = 0.0;
+    double online = 0.0;
+    std::size_t calls = 0;
+  };
+  const std::vector<SweepRow> rows = runtime::ParallelMap(
+      pool, cases.size(), [&](std::size_t i) {
+        const bench::TestCase& test = cases[i];
+        const int index = static_cast<int>(i) + 1;
+        const ctg::ActivationAnalysis analysis(test.rc.graph);
+        const auto vectors = bench::MakeFluctuatingVectors(
+            test.rc.graph, 500, 777 + static_cast<std::uint64_t>(index));
+        const auto profile = bench::BiasedProfile(
+            test.rc.graph, analysis, test.rc.platform, true);
+        sched::Schedule online = sched::RunDls(test.rc.graph, analysis,
+                                               test.rc.platform, profile);
+        dvfs::StretchOnline(online, profile);
+
+        SweepRow row;
+        row.online = sim::RunTrace(online, vectors).total_energy_mj;
+
+        runtime::ScheduleCache cache({}, &runtime::Metrics::Global());
+        adaptive::AdaptiveOptions options;
+        options.window = window;
+        options.threshold = threshold;
+        options.schedule_cache = &cache;
+        adaptive::AdaptiveController controller(
+            test.rc.graph, analysis, test.rc.platform, profile, options);
+        row.adaptive =
+            adaptive::RunAdaptive(controller, vectors).total_energy_mj;
+        row.calls = controller.reschedule_count();
+        return row;
+      });
+
+  SweepTotals totals;
+  for (const SweepRow& row : rows) {
+    totals.adaptive_total += row.adaptive;
+    totals.online_total += row.online;
+    totals.calls += row.calls;
+  }
+  return totals;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runtime::Pool pool(runtime::ParseJobs(argc, argv));
+
   std::vector<bench::TestCase> cases = bench::MakeTable45Cases();
 
   // ------------------------------------------------------------------ A-C
@@ -67,37 +127,47 @@ int main() {
       {"CTG", "full online", "A worst-case SL", "B mutex-blind",
        "C prob-blind stretch"});
   double totals[4] = {0, 0, 0, 0};
+
+  struct StructuralRow {
+    double full = 0.0, a = 0.0, b = 0.0, c = 0.0;
+  };
+  const std::vector<StructuralRow> structural_rows = runtime::ParallelMap(
+      pool, cases.size(), [&](std::size_t i) {
+        const bench::TestCase& test = cases[i];
+        const int index = static_cast<int>(i) + 1;
+        const ctg::ActivationAnalysis analysis(test.rc.graph);
+        const auto probs = RandomProbs(
+            test.rc.graph, 500 + static_cast<std::uint64_t>(index));
+
+        StructuralRow row;
+        sched::DlsOptions base;
+        row.full = PipelineEnergy(test, analysis, probs, base, true);
+
+        sched::DlsOptions worst_sl = base;
+        worst_sl.level_policy = sched::LevelPolicy::kWorstCase;
+        row.a = PipelineEnergy(test, analysis, probs, worst_sl, true);
+
+        sched::DlsOptions blind = base;
+        blind.mutex_aware = false;
+        row.b = PipelineEnergy(test, analysis, probs, blind, true);
+
+        row.c = PipelineEnergy(test, analysis, probs, base, false);
+        return row;
+      });
+
   int index = 0;
-  for (bench::TestCase& test : cases) {
+  for (const StructuralRow& row : structural_rows) {
     ++index;
-    const ctg::ActivationAnalysis analysis(test.rc.graph);
-    const auto probs =
-        RandomProbs(test.rc.graph, 500 + static_cast<std::uint64_t>(index));
-
-    sched::DlsOptions base;
-    const double full =
-        PipelineEnergy(test, analysis, probs, base, true);
-
-    sched::DlsOptions worst_sl = base;
-    worst_sl.level_policy = sched::LevelPolicy::kWorstCase;
-    const double a = PipelineEnergy(test, analysis, probs, worst_sl, true);
-
-    sched::DlsOptions blind = base;
-    blind.mutex_aware = false;
-    const double b = PipelineEnergy(test, analysis, probs, blind, true);
-
-    const double c = PipelineEnergy(test, analysis, probs, base, false);
-
-    totals[0] += full;
-    totals[1] += a;
-    totals[2] += b;
-    totals[3] += c;
+    totals[0] += row.full;
+    totals[1] += row.a;
+    totals[2] += row.b;
+    totals[3] += row.c;
     structural.BeginRow()
         .Cell(index)
         .Cell(100.0, 0)
-        .Cell(100.0 * a / full, 1)
-        .Cell(100.0 * b / full, 1)
-        .Cell(100.0 * c / full, 1);
+        .Cell(100.0 * row.a / row.full, 1)
+        .Cell(100.0 * row.b / row.full, 1)
+        .Cell(100.0 * row.c / row.full, 1);
   }
   structural.BeginRow()
       .Cell("avg")
@@ -126,37 +196,17 @@ int main() {
   util::TablePrinter window_table(
       {"window", "adaptive energy", "vs online", "calls"});
   for (std::size_t window : {5u, 10u, 20u, 50u, 100u}) {
-    double adaptive_total = 0.0, online_total = 0.0;
-    std::size_t calls = 0;
-    index = 0;
-    for (bench::TestCase& test : cases) {
-      ++index;
-      const ctg::ActivationAnalysis analysis(test.rc.graph);
-      const auto vectors = bench::MakeFluctuatingVectors(
-          test.rc.graph, 500, 777 + static_cast<std::uint64_t>(index));
-      const auto profile = bench::BiasedProfile(
-          test.rc.graph, analysis, test.rc.platform, true);
-      sched::Schedule online = sched::RunDls(test.rc.graph, analysis,
-                                             test.rc.platform, profile);
-      dvfs::StretchOnline(online, profile);
-      online_total += sim::RunTrace(online, vectors).total_energy_mj;
-
-      adaptive::AdaptiveOptions options;
-      options.window = window;
-      options.threshold = 0.1;
-      adaptive::AdaptiveController controller(
-          test.rc.graph, analysis, test.rc.platform, profile, options);
-      adaptive_total +=
-          adaptive::RunAdaptive(controller, vectors).total_energy_mj;
-      calls += controller.reschedule_count();
-    }
+    const SweepTotals totals =
+        AdaptiveSweep(pool, cases, window, /*threshold=*/0.1);
     window_table.BeginRow()
         .Cell(window)
-        .Cell(adaptive_total / 1000.0, 0)
+        .Cell(totals.adaptive_total / 1000.0, 0)
         .Cell(util::TablePrinter::Format(
-                  100.0 * (1.0 - adaptive_total / online_total), 1) +
+                  100.0 * (1.0 - totals.adaptive_total /
+                                     totals.online_total),
+                  1) +
               "%")
-        .Cell(calls);
+        .Cell(totals.calls);
   }
   window_table.Print(std::cout);
   std::cout << "\nShort windows react fast but the estimator noise "
@@ -170,37 +220,17 @@ int main() {
   util::TablePrinter threshold_table(
       {"threshold", "adaptive energy", "vs online", "calls"});
   for (double threshold : {0.05, 0.1, 0.25, 0.5, 0.8}) {
-    double adaptive_total = 0.0, online_total = 0.0;
-    std::size_t calls = 0;
-    index = 0;
-    for (bench::TestCase& test : cases) {
-      ++index;
-      const ctg::ActivationAnalysis analysis(test.rc.graph);
-      const auto vectors = bench::MakeFluctuatingVectors(
-          test.rc.graph, 500, 777 + static_cast<std::uint64_t>(index));
-      const auto profile = bench::BiasedProfile(
-          test.rc.graph, analysis, test.rc.platform, true);
-      sched::Schedule online = sched::RunDls(test.rc.graph, analysis,
-                                             test.rc.platform, profile);
-      dvfs::StretchOnline(online, profile);
-      online_total += sim::RunTrace(online, vectors).total_energy_mj;
-
-      adaptive::AdaptiveOptions options;
-      options.window = 20;
-      options.threshold = threshold;
-      adaptive::AdaptiveController controller(
-          test.rc.graph, analysis, test.rc.platform, profile, options);
-      adaptive_total +=
-          adaptive::RunAdaptive(controller, vectors).total_energy_mj;
-      calls += controller.reschedule_count();
-    }
+    const SweepTotals totals =
+        AdaptiveSweep(pool, cases, /*window=*/20, threshold);
     threshold_table.BeginRow()
         .Cell(threshold, 2)
-        .Cell(adaptive_total / 1000.0, 0)
+        .Cell(totals.adaptive_total / 1000.0, 0)
         .Cell(util::TablePrinter::Format(
-                  100.0 * (1.0 - adaptive_total / online_total), 1) +
+                  100.0 * (1.0 - totals.adaptive_total /
+                                     totals.online_total),
+                  1) +
               "%")
-        .Cell(calls);
+        .Cell(totals.calls);
   }
   threshold_table.Print(std::cout);
   std::cout << "\nThe paper's observation holds: a mid threshold keeps "
@@ -215,44 +245,58 @@ int main() {
   util::TablePrinter level_table(
       {"CTG", "continuous", "levels {.25,.5,.75,1}", "levels {.5,1}"});
   double level_totals[3] = {0, 0, 0};
+
+  struct LevelRow {
+    double energies[3] = {0.0, 0.0, 0.0};
+  };
+  const std::vector<LevelRow> level_rows = runtime::ParallelMap(
+      pool, cases.size(), [&](std::size_t i) {
+        const bench::TestCase& test = cases[i];
+        const int index = static_cast<int>(i) + 1;
+        const ctg::ActivationAnalysis analysis(test.rc.graph);
+        const auto probs = RandomProbs(
+            test.rc.graph, 500 + static_cast<std::uint64_t>(index));
+        LevelRow row;
+        for (int mode = 0; mode < 3; ++mode) {
+          arch::PlatformBuilder builder(test.rc.graph.task_count(),
+                                        test.rc.platform.pe_count());
+          for (TaskId task : test.rc.graph.TaskIds()) {
+            for (PeId pe : test.rc.platform.PeIds()) {
+              builder.SetTaskCost(task, pe,
+                                  test.rc.platform.Wcet(task, pe),
+                                  test.rc.platform.Energy(task, pe));
+            }
+          }
+          for (PeId pe : test.rc.platform.PeIds()) {
+            if (mode == 0) {
+              builder.SetMinSpeedRatio(
+                  pe, test.rc.platform.pe(pe).min_speed_ratio);
+            } else if (mode == 1) {
+              builder.SetSpeedLevels(pe, {0.25, 0.5, 0.75, 1.0});
+            } else {
+              builder.SetSpeedLevels(pe, {0.5, 1.0});
+            }
+          }
+          const arch::Platform platform = std::move(builder).Build();
+          sched::Schedule s = sched::RunDls(test.rc.graph, analysis,
+                                            platform, probs);
+          dvfs::StretchOnline(s, probs);
+          row.energies[mode] = sim::ExpectedEnergy(s, probs);
+        }
+        return row;
+      });
+
   index = 0;
-  for (bench::TestCase& test : cases) {
+  for (const LevelRow& row : level_rows) {
     ++index;
-    const ctg::ActivationAnalysis analysis(test.rc.graph);
-    const auto probs =
-        RandomProbs(test.rc.graph, 500 + static_cast<std::uint64_t>(index));
-    double energies[3];
     for (int mode = 0; mode < 3; ++mode) {
-      arch::PlatformBuilder builder(test.rc.graph.task_count(),
-                                    test.rc.platform.pe_count());
-      for (TaskId task : test.rc.graph.TaskIds()) {
-        for (PeId pe : test.rc.platform.PeIds()) {
-          builder.SetTaskCost(task, pe, test.rc.platform.Wcet(task, pe),
-                              test.rc.platform.Energy(task, pe));
-        }
-      }
-      for (PeId pe : test.rc.platform.PeIds()) {
-        if (mode == 0) {
-          builder.SetMinSpeedRatio(
-              pe, test.rc.platform.pe(pe).min_speed_ratio);
-        } else if (mode == 1) {
-          builder.SetSpeedLevels(pe, {0.25, 0.5, 0.75, 1.0});
-        } else {
-          builder.SetSpeedLevels(pe, {0.5, 1.0});
-        }
-      }
-      const arch::Platform platform = std::move(builder).Build();
-      sched::Schedule s = sched::RunDls(test.rc.graph, analysis,
-                                        platform, probs);
-      dvfs::StretchOnline(s, probs);
-      energies[mode] = sim::ExpectedEnergy(s, probs);
-      level_totals[mode] += energies[mode];
+      level_totals[mode] += row.energies[mode];
     }
     level_table.BeginRow()
         .Cell(index)
         .Cell(100.0, 0)
-        .Cell(100.0 * energies[1] / energies[0], 1)
-        .Cell(100.0 * energies[2] / energies[0], 1);
+        .Cell(100.0 * row.energies[1] / row.energies[0], 1)
+        .Cell(100.0 * row.energies[2] / row.energies[0], 1);
   }
   level_table.BeginRow()
       .Cell("avg")
@@ -263,5 +307,7 @@ int main() {
   std::cout << "\nDiscrete levels round every speed up to the next "
                "available step; four levels already recover most of the "
                "continuous-DVFS savings.\n";
+
+  sim::WriteMetricsReport(std::cerr, runtime::Metrics::Global());
   return 0;
 }

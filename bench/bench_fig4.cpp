@@ -8,16 +8,24 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "apps/mpeg.h"
 #include "ctg/activation.h"
 #include "profiling/window.h"
+#include "runtime/pool.h"
 #include "util/csv.h"
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actg;
+
+  // Accepts --jobs for uniformity with the other bench targets, but the
+  // sliding-window filter below is a stateful sequential recurrence
+  // (filtered[i] depends on filtered[i-1]) and cannot be parallelized.
+  const runtime::Pool pool(runtime::ParseJobs(argc, argv));
+  (void)pool;
 
   util::PrintBanner(std::cout,
                     "Figure 4 - MPEG branch selection, windowed and "
@@ -34,7 +42,8 @@ int main() {
   constexpr double kThreshold = 0.1;    // paper: threshold 0.1
   profiling::SlidingWindowProfiler profiler(model.graph, kWindow);
 
-  std::ofstream csv_file("fig4_series.csv");
+  const std::string csv_path = util::OutputPath("fig4_series.csv");
+  std::ofstream csv_file(csv_path);
   util::CsvWriter csv(csv_file);
   csv.WriteRow(std::vector<std::string>{"instance", "selection",
                                         "windowed_prob",
@@ -88,7 +97,7 @@ int main() {
       .Cell(tracking_error.mean(), 4);
   table.Print(std::cout);
 
-  std::cout << "\nSeries written to fig4_series.csv (instance, raw "
+  std::cout << "\nSeries written to " << csv_path << " (instance, raw "
                "selection, windowed probability, filtered probability).\n"
             << "Expected shape: raw selections look random; the windowed "
                "probability drifts slowly with local fluctuation; the "

@@ -13,12 +13,17 @@
 #include "ctg/activation.h"
 #include "dvfs/stretch.h"
 #include "experiments.h"
+#include "runtime/pool.h"
+#include "runtime/schedule_cache.h"
 #include "sched/dls.h"
 #include "sim/executor.h"
+#include "sim/report.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actg;
+
+  runtime::Pool pool(runtime::ParseJobs(argc, argv));
 
   util::PrintBanner(std::cout,
                     "Figure 6 - Energy consumption with ideal profiling "
@@ -29,51 +34,72 @@ int main() {
   double online_total = 0.0, adaptive_total = 0.0;
   double cat1_online = 0.0, cat1_adaptive = 0.0;
   double cat2_online = 0.0, cat2_adaptive = 0.0;
+
+  struct Row {
+    double online_energy = 0.0;
+    double adaptive_energy = 0.0;
+    std::size_t calls = 0;
+  };
+  const std::vector<bench::TestCase> cases = bench::MakeTable45Cases();
+  const std::vector<Row> rows = runtime::ParallelMap(
+      pool, cases.size(), [&](std::size_t i) {
+        const bench::TestCase& test = cases[i];
+        const int index = static_cast<int>(i) + 1;
+        const ctg::ActivationAnalysis analysis(test.rc.graph);
+        const trace::BranchTrace vectors = bench::MakeFluctuatingVectors(
+            test.rc.graph, 1000, 777 + static_cast<std::uint64_t>(index));
+
+        // Ideal profiling: the true long-run averages of the very
+        // vectors used for evaluation.
+        const ctg::BranchProbabilities ideal =
+            vectors.ProfiledProbabilities(test.rc.graph);
+
+        sched::Schedule online = sched::RunDls(test.rc.graph, analysis,
+                                               test.rc.platform, ideal);
+        dvfs::StretchOnline(online, ideal);
+
+        Row row;
+        row.online_energy = sim::RunTrace(online, vectors).total_energy_mj;
+
+        runtime::ScheduleCache cache({}, &runtime::Metrics::Global());
+        adaptive::AdaptiveOptions options;
+        options.window = 20;
+        options.threshold = 0.5;
+        options.schedule_cache = &cache;
+        adaptive::AdaptiveController controller(test.rc.graph, analysis,
+                                                test.rc.platform, ideal,
+                                                options);
+        const sim::RunSummary run =
+            adaptive::RunAdaptive(controller, vectors);
+        row.adaptive_energy = run.total_energy_mj;
+        row.calls = controller.reschedule_count();
+        return row;
+      });
+
   int index = 0;
-  for (bench::TestCase& test : bench::MakeTable45Cases()) {
+  for (const Row& row : rows) {
+    const bench::TestCase& test = cases[static_cast<std::size_t>(index)];
     ++index;
-    const ctg::ActivationAnalysis analysis(test.rc.graph);
-    const trace::BranchTrace vectors = bench::MakeFluctuatingVectors(
-        test.rc.graph, 1000, 777 + static_cast<std::uint64_t>(index));
 
-    // Ideal profiling: the true long-run averages of the very vectors
-    // used for evaluation.
-    const ctg::BranchProbabilities ideal =
-        vectors.ProfiledProbabilities(test.rc.graph);
-
-    sched::Schedule online = sched::RunDls(test.rc.graph, analysis,
-                                           test.rc.platform, ideal);
-    dvfs::StretchOnline(online, ideal);
-    const double online_energy =
-        sim::RunTrace(online, vectors).total_energy_mj;
-
-    adaptive::AdaptiveOptions options;
-    options.window = 20;
-    options.threshold = 0.5;
-    adaptive::AdaptiveController controller(test.rc.graph, analysis,
-                                            test.rc.platform, ideal,
-                                            options);
-    const sim::RunSummary run = adaptive::RunAdaptive(controller, vectors);
-
-    online_total += online_energy;
-    adaptive_total += run.total_energy_mj;
+    online_total += row.online_energy;
+    adaptive_total += row.adaptive_energy;
     if (index <= 5) {
-      cat1_online += online_energy;
-      cat1_adaptive += run.total_energy_mj;
+      cat1_online += row.online_energy;
+      cat1_adaptive += row.adaptive_energy;
     } else {
-      cat2_online += online_energy;
-      cat2_adaptive += run.total_energy_mj;
+      cat2_online += row.online_energy;
+      cat2_adaptive += row.adaptive_energy;
     }
 
     table.BeginRow()
         .Cell(index)
         .Cell(test.label)
         .Cell(index <= 5 ? "1" : "2")
-        .Cell(online_energy / 1000.0, 0)
-        .Cell(run.total_energy_mj / 1000.0, 0)
-        .Cell(controller.reschedule_count())
+        .Cell(row.online_energy / 1000.0, 0)
+        .Cell(row.adaptive_energy / 1000.0, 0)
+        .Cell(row.calls)
         .Cell(util::TablePrinter::Format(
-                  100.0 * (1.0 - run.total_energy_mj / online_energy),
+                  100.0 * (1.0 - row.adaptive_energy / row.online_energy),
                   1) +
               "%");
   }
@@ -93,5 +119,7 @@ int main() {
             << "%. See EXPERIMENTS.md for why our reconstructed "
                "heuristic shows a smaller ideal-profiling gain than the "
                "paper while preserving the ordering.\n";
+
+  sim::WriteMetricsReport(std::cerr, runtime::Metrics::Global());
   return 0;
 }

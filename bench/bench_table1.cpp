@@ -12,7 +12,9 @@
 #include "ctg/activation.h"
 #include "dvfs/algorithms.h"
 #include "experiments.h"
+#include "runtime/pool.h"
 #include "sim/energy.h"
+#include "sim/report.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -26,8 +28,10 @@ double Ms(Clock::time_point begin, Clock::time_point end) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actg;
+
+  runtime::Pool pool(runtime::ParseJobs(argc, argv));
 
   util::PrintBanner(std::cout,
                     "Table 1 - Energy consumption of online algorithm "
@@ -36,48 +40,68 @@ int main() {
   util::TablePrinter table({"CTG", "a/b/c", "Reference Algorithm 1",
                             "Reference Algorithm 2", "Online Algorithm",
                             "online ms", "NLP ms"});
+
+  // Energies are deterministic for any worker count; the two wall-clock
+  // columns are measurements and vary run to run regardless of jobs.
+  struct Row {
+    double e_online = 0.0;
+    double e_ref1 = 0.0;
+    double e_ref2 = 0.0;
+    double online_ms = 0.0;
+    double nlp_ms = 0.0;
+  };
+  const std::vector<bench::TestCase> cases = bench::MakeTable1Cases();
+  const std::vector<Row> rows = runtime::ParallelMap(
+      pool, cases.size(), [&](std::size_t i) {
+        const bench::TestCase& test = cases[i];
+        const int index = static_cast<int>(i) + 1;
+        const ctg::Ctg& graph = test.rc.graph;
+        const arch::Platform& platform = test.rc.platform;
+        const ctg::ActivationAnalysis analysis(graph);
+
+        // "The branching probabilities for all branching nodes were
+        // randomly generated."
+        util::Random rng(99 + static_cast<std::uint64_t>(index));
+        ctg::BranchProbabilities probs(graph.task_count());
+        for (TaskId fork : graph.ForkIds()) {
+          const double p = rng.Uniform(0.1, 0.9);
+          probs.Set(fork, {p, 1.0 - p});
+        }
+
+        const auto t0 = Clock::now();
+        const sched::Schedule online =
+            dvfs::RunOnlineAlgorithm(graph, analysis, platform, probs);
+        const auto t1 = Clock::now();
+        const sched::Schedule ref2 =
+            dvfs::RunReference2(graph, analysis, platform, probs);
+        const auto t2 = Clock::now();
+        const sched::Schedule ref1 =
+            dvfs::RunReference1(graph, analysis, platform, probs);
+
+        Row row;
+        row.e_online = sim::ExpectedEnergy(online, probs);
+        row.e_ref1 = sim::ExpectedEnergy(ref1, probs);
+        row.e_ref2 = sim::ExpectedEnergy(ref2, probs);
+        row.online_ms = Ms(t0, t1);
+        row.nlp_ms = Ms(t1, t2);
+        return row;
+      });
+
   double speedup_total = 0.0;
   int index = 0;
-  for (bench::TestCase& test : bench::MakeTable1Cases()) {
+  for (const Row& row : rows) {
+    const bench::TestCase& test = cases[static_cast<std::size_t>(index)];
     ++index;
-    const ctg::Ctg& graph = test.rc.graph;
-    const arch::Platform& platform = test.rc.platform;
-    const ctg::ActivationAnalysis analysis(graph);
-
-    // "The branching probabilities for all branching nodes were randomly
-    // generated."
-    util::Random rng(99 + static_cast<std::uint64_t>(index));
-    ctg::BranchProbabilities probs(graph.task_count());
-    for (TaskId fork : graph.ForkIds()) {
-      const double p = rng.Uniform(0.1, 0.9);
-      probs.Set(fork, {p, 1.0 - p});
-    }
-
-    const auto t0 = Clock::now();
-    const sched::Schedule online =
-        dvfs::RunOnlineAlgorithm(graph, analysis, platform, probs);
-    const auto t1 = Clock::now();
-    const sched::Schedule ref2 =
-        dvfs::RunReference2(graph, analysis, platform, probs);
-    const auto t2 = Clock::now();
-    const sched::Schedule ref1 =
-        dvfs::RunReference1(graph, analysis, platform, probs);
-
-    const double e_online = sim::ExpectedEnergy(online, probs);
-    const double e_ref1 = sim::ExpectedEnergy(ref1, probs);
-    const double e_ref2 = sim::ExpectedEnergy(ref2, probs);
-    const double online_ms = Ms(t0, t1);
-    const double nlp_ms = Ms(t1, t2);
-    speedup_total += nlp_ms / std::max(online_ms, 1e-6);
+    speedup_total += row.nlp_ms / std::max(row.online_ms, 1e-6);
 
     table.BeginRow()
         .Cell(index)
         .Cell(test.label)
-        .Cell(100.0 * e_ref1 / e_online, 0)
-        .Cell(100.0 * e_ref2 / e_online, 0)
+        .Cell(100.0 * row.e_ref1 / row.e_online, 0)
+        .Cell(100.0 * row.e_ref2 / row.e_online, 0)
         .Cell(100.0, 0)
-        .Cell(online_ms, 3)
-        .Cell(nlp_ms, 1);
+        .Cell(row.online_ms, 3)
+        .Cell(row.nlp_ms, 1);
   }
   table.Print(std::cout);
 
@@ -89,5 +113,7 @@ int main() {
                "ordering holds)\n";
   std::cout << "Paper reference values: Ref1 = 195/145/130/139/290, "
                "Ref2 = 87/93/95/91/97.\n";
+
+  sim::WriteMetricsReport(std::cerr, runtime::Metrics::Global());
   return 0;
 }

@@ -13,12 +13,17 @@
 #include "apps/cruise.h"
 #include "ctg/activation.h"
 #include "dvfs/stretch.h"
+#include "runtime/pool.h"
+#include "runtime/schedule_cache.h"
 #include "sched/dls.h"
 #include "sim/executor.h"
+#include "sim/report.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actg;
+
+  runtime::Pool pool(runtime::ParseJobs(argc, argv));
 
   const apps::CruiseModel model = apps::MakeCruiseModel();
   const ctg::ActivationAnalysis analysis(model.graph);
@@ -38,37 +43,60 @@ int main() {
   util::TablePrinter table({"Vector sequence", "Non-adaptive",
                             "Adaptive", "threshold", "calls",
                             "saving"});
-  for (int sequence = 1; sequence <= 3; ++sequence) {
-    const trace::BranchTrace vectors =
-        apps::GenerateRoadTrace(model, sequence, 1000,
-                                /*seed=*/100 + sequence);
-    sched::Schedule online =
-        sched::RunDls(model.graph, analysis, model.platform, profile);
-    dvfs::StretchOnline(online, profile);
-    const double online_energy =
-        sim::RunTrace(online, vectors).total_energy_mj;
 
-    // Paper: threshold 0.1 for the first two sequences, 0.5 for the
-    // third.
-    const double threshold = sequence == 3 ? 0.5 : 0.1;
-    adaptive::AdaptiveOptions options;
-    options.window = 20;
-    options.threshold = threshold;
-    adaptive::AdaptiveController controller(model.graph, analysis,
-                                            model.platform, profile,
-                                            options);
-    const sim::RunSummary adaptive_run =
-        adaptive::RunAdaptive(controller, vectors);
+  // The cyclic road scenarios revisit the same windowed probability
+  // estimates over and over, so each sequence's schedule cache should
+  // show a substantial hit rate (see the metrics dump on stderr).
+  struct Row {
+    double online_energy = 0.0;
+    double adaptive_energy = 0.0;
+    double threshold = 0.0;
+    std::size_t calls = 0;
+  };
+  const std::vector<Row> rows = runtime::ParallelMap(
+      pool, 3, [&](std::size_t i) {
+        const int sequence = static_cast<int>(i) + 1;
+        const trace::BranchTrace vectors =
+            apps::GenerateRoadTrace(model, sequence, 1000,
+                                    /*seed=*/100 + sequence);
+        sched::Schedule online =
+            sched::RunDls(model.graph, analysis, model.platform, profile);
+        dvfs::StretchOnline(online, profile);
 
+        Row row;
+        row.online_energy =
+            sim::RunTrace(online, vectors).total_energy_mj;
+
+        // Paper: threshold 0.1 for the first two sequences, 0.5 for the
+        // third.
+        row.threshold = sequence == 3 ? 0.5 : 0.1;
+        runtime::ScheduleCache cache({}, &runtime::Metrics::Global());
+        adaptive::AdaptiveOptions options;
+        options.window = 20;
+        options.threshold = row.threshold;
+        options.schedule_cache = &cache;
+        adaptive::AdaptiveController controller(model.graph, analysis,
+                                                model.platform, profile,
+                                                options);
+        const sim::RunSummary adaptive_run =
+            adaptive::RunAdaptive(controller, vectors);
+        row.adaptive_energy = adaptive_run.total_energy_mj;
+        row.calls = controller.reschedule_count();
+        return row;
+      });
+
+  int sequence = 0;
+  for (const Row& row : rows) {
+    ++sequence;
     table.BeginRow()
         .Cell(sequence)
-        .Cell(online_energy, 0)
-        .Cell(adaptive_run.total_energy_mj, 0)
-        .Cell(threshold, 1)
-        .Cell(controller.reschedule_count())
+        .Cell(row.online_energy, 0)
+        .Cell(row.adaptive_energy, 0)
+        .Cell(row.threshold, 1)
+        .Cell(row.calls)
         .Cell(util::TablePrinter::Format(
-                  100.0 * (1.0 - adaptive_run.total_energy_mj /
-                                     online_energy),
+                  100.0 * (1.0 - row.adaptive_energy /
+                                     row.online_energy),
                   1) +
               "%");
   }
@@ -80,5 +108,7 @@ int main() {
          "the CTG has only three minterms, two of which are almost "
          "equal in energy, and the deadline is double the optimum "
          "schedule length); ~150 calls at T=0.1 and ~9 at T=0.5.\n";
+
+  sim::WriteMetricsReport(std::cerr, runtime::Metrics::Global());
   return 0;
 }

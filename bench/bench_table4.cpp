@@ -9,10 +9,14 @@
 
 #include "ctg/activation.h"
 #include "experiments.h"
+#include "runtime/pool.h"
+#include "sim/report.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace actg;
+
+  runtime::Pool pool(runtime::ParseJobs(argc, argv));
 
   util::PrintBanner(std::cout,
                     "Table 4 - Energy savings with online algorithm "
@@ -25,16 +29,30 @@ int main() {
   double online_total = 0.0, t05_total = 0.0, t01_total = 0.0;
   double cat1_online = 0.0, cat1_adaptive = 0.0;
   double cat2_online = 0.0, cat2_adaptive = 0.0;
+
+  // Each case is an independent Monte-Carlo run keyed by its index
+  // (seeds derive from the index alone), so the rows are computed in
+  // parallel and printed serially in index order — stdout is identical
+  // for any worker count.
+  const std::vector<bench::TestCase> cases = bench::MakeTable45Cases();
+  const auto rows = runtime::ParallelMap(
+      pool, cases.size(), [&](std::size_t i) {
+        const bench::TestCase& test = cases[i];
+        const int index = static_cast<int>(i) + 1;
+        const ctg::ActivationAnalysis analysis(test.rc.graph);
+        const trace::BranchTrace vectors = bench::MakeFluctuatingVectors(
+            test.rc.graph, 1000, 777 + static_cast<std::uint64_t>(index));
+        const ctg::BranchProbabilities profile = bench::BiasedProfile(
+            test.rc.graph, analysis, test.rc.platform, /*lowest=*/true);
+        return bench::CompareAdaptive(test.rc.graph, analysis,
+                                      test.rc.platform, profile, vectors,
+                                      &pool);
+      });
+
   int index = 0;
-  for (bench::TestCase& test : bench::MakeTable45Cases()) {
+  for (const bench::AdaptiveComparison& cmp : rows) {
+    const bench::TestCase& test = cases[static_cast<std::size_t>(index)];
     ++index;
-    const ctg::ActivationAnalysis analysis(test.rc.graph);
-    const trace::BranchTrace vectors = bench::MakeFluctuatingVectors(
-        test.rc.graph, 1000, 777 + static_cast<std::uint64_t>(index));
-    const ctg::BranchProbabilities profile = bench::BiasedProfile(
-        test.rc.graph, analysis, test.rc.platform, /*lowest=*/true);
-    const bench::AdaptiveComparison cmp = bench::CompareAdaptive(
-        test.rc.graph, analysis, test.rc.platform, profile, vectors);
 
     online_total += cmp.online_energy;
     t05_total += cmp.adaptive_energy_t05;
@@ -87,5 +105,7 @@ int main() {
                "fork-join graphs benefit more).\n"
             << "Energies are reported per 1000 instances in table "
                "units of 1000 mJ.\n";
+
+  sim::WriteMetricsReport(std::cerr, runtime::Metrics::Global());
   return 0;
 }

@@ -123,28 +123,45 @@ AdaptiveComparison CompareAdaptive(const ctg::Ctg& graph,
                                    const ctg::ActivationAnalysis& analysis,
                                    const arch::Platform& platform,
                                    const ctg::BranchProbabilities& profile,
-                                   const trace::BranchTrace& vectors) {
+                                   const trace::BranchTrace& vectors,
+                                   runtime::Pool* pool) {
   AdaptiveComparison result;
 
-  sched::Schedule online = sched::RunDls(graph, analysis, platform, profile);
-  dvfs::StretchOnline(online, profile);
-  result.online_energy = sim::RunTrace(online, vectors).total_energy_mj;
-
-  for (double threshold : {0.5, 0.1}) {
+  // The online run and the two adaptive thresholds are independent;
+  // job 0 = online, jobs 1/2 = adaptive with thresholds[job - 1].
+  const double thresholds[2] = {0.5, 0.1};
+  auto run_unit = [&](std::size_t job) {
+    if (job == 0) {
+      sched::Schedule online =
+          sched::RunDls(graph, analysis, platform, profile);
+      dvfs::StretchOnline(online, profile);
+      result.online_energy = sim::RunTrace(online, vectors).total_energy_mj;
+      return;
+    }
+    runtime::ScheduleCache cache({}, &runtime::Metrics::Global());
     adaptive::AdaptiveOptions options;
     options.window = 20;
-    options.threshold = threshold;
+    options.threshold = thresholds[job - 1];
+    options.schedule_cache = &cache;
     adaptive::AdaptiveController controller(graph, analysis, platform,
                                             profile, options);
     const sim::RunSummary summary =
         adaptive::RunAdaptive(controller, vectors);
-    if (threshold == 0.5) {
+    if (job == 1) {
       result.adaptive_energy_t05 = summary.total_energy_mj;
       result.calls_t05 = controller.reschedule_count();
     } else {
       result.adaptive_energy_t01 = summary.total_energy_mj;
       result.calls_t01 = controller.reschedule_count();
     }
+  };
+  if (pool != nullptr) {
+    runtime::ParallelMap(*pool, 3, [&](std::size_t job) {
+      run_unit(job);
+      return 0;
+    });
+  } else {
+    for (std::size_t job = 0; job < 3; ++job) run_unit(job);
   }
   return result;
 }

@@ -1,9 +1,31 @@
 #include "adaptive/controller.h"
 
+#include "runtime/fingerprint.h"
+#include "runtime/metrics.h"
 #include "sim/energy.h"
 #include "util/error.h"
 
 namespace actg::adaptive {
+
+namespace {
+
+/// Fingerprint of every configuration knob that influences the produced
+/// schedule (the cache key must distinguish configs, not just inputs).
+std::uint64_t FingerprintConfig(const AdaptiveOptions& options) {
+  std::uint64_t fp = 0x9E3779B97F4A7C15ULL;
+  fp = runtime::HashCombine(
+      fp, static_cast<std::uint64_t>(options.dls.level_policy));
+  fp = runtime::HashCombine(fp, options.dls.mutex_aware ? 1 : 2);
+  if (options.dls.fixed_mapping != nullptr) {
+    for (PeId pe : *options.dls.fixed_mapping) {
+      fp = runtime::HashCombine(fp, static_cast<std::uint64_t>(pe.value));
+    }
+  }
+  fp = runtime::HashCombine(fp, options.stretch.max_paths);
+  return fp;
+}
+
+}  // namespace
 
 AdaptiveController::AdaptiveController(
     const ctg::Ctg& graph, const ctg::ActivationAnalysis& analysis,
@@ -15,15 +37,44 @@ AdaptiveController::AdaptiveController(
       options_(options),
       in_use_(std::move(initial_probs)),
       profiler_(graph, options.window),
+      graph_fingerprint_(runtime::FingerprintCtg(graph)),
+      platform_fingerprint_(runtime::FingerprintPlatform(platform)),
+      config_fingerprint_(FingerprintConfig(options)),
       schedule_(Reschedule()) {
   ACTG_CHECK(options_.threshold > 0.0 && options_.threshold <= 1.0,
              "Adaptation threshold must lie in (0, 1]");
 }
 
+runtime::ScheduleCacheKey AdaptiveController::CacheKey() const {
+  runtime::ScheduleCacheKey key;
+  key.graph_fingerprint = graph_fingerprint_;
+  key.platform_fingerprint = platform_fingerprint_;
+  key.config_fingerprint = config_fingerprint_;
+  for (TaskId fork : graph_->ForkIds()) {
+    for (int o = 0; o < graph_->OutcomeCount(fork); ++o) {
+      key.probs.push_back(in_use_.Outcome(fork, o));
+    }
+  }
+  return key;
+}
+
 sched::Schedule AdaptiveController::Reschedule() const {
+  runtime::ScheduleCacheKey key;
+  if (options_.schedule_cache != nullptr) {
+    key = CacheKey();
+    if (std::optional<runtime::ScheduleCacheEntry> cached =
+            options_.schedule_cache->Lookup(key)) {
+      return std::move(cached->schedule);
+    }
+  }
   sched::Schedule schedule =
       sched::RunDls(*graph_, *analysis_, *platform_, in_use_, options_.dls);
-  dvfs::StretchOnline(schedule, in_use_, options_.stretch);
+  const dvfs::StretchStats stats =
+      dvfs::StretchOnline(schedule, in_use_, options_.stretch);
+  if (options_.schedule_cache != nullptr) {
+    options_.schedule_cache->Insert(
+        key, runtime::ScheduleCacheEntry{schedule, stats});
+  }
   return schedule;
 }
 
@@ -71,6 +122,7 @@ sim::InstanceResult AdaptiveController::ProcessInstance(
     // would let sampling noise undo the adaptation gains.
     sched::Schedule candidate = Reschedule();
     ++reschedule_count_;
+    runtime::Metrics::Global().Increment("adaptive.reschedule_calls");
     if (sim::ExpectedEnergy(candidate, in_use_) <
         sim::ExpectedEnergy(schedule_, in_use_)) {
       schedule_ = std::move(candidate);

@@ -21,6 +21,7 @@
 #include "ctg/condition.h"
 #include "dvfs/stretch.h"
 #include "profiling/window.h"
+#include "runtime/schedule_cache.h"
 #include "sched/dls.h"
 #include "sim/executor.h"
 #include "trace/trace.h"
@@ -39,6 +40,13 @@ struct AdaptiveOptions {
   sched::DlsOptions dls;
   /// Stretcher configuration.
   dvfs::StretchOptions stretch;
+  /// Optional schedule memoization. When set, every online scheduling +
+  /// DVFS call first consults the cache (exact probability match), so
+  /// revisited operating points become O(1) lookups without changing
+  /// any result; computed schedules are inserted back. The cache may be
+  /// shared between controllers (it is thread-safe and keyed by graph/
+  /// platform/config fingerprints), and must outlive the controller.
+  runtime::ScheduleCache* schedule_cache = nullptr;
 };
 
 /// Runtime manager owning the current schedule, the profiler and the
@@ -78,6 +86,7 @@ class AdaptiveController {
 
  private:
   sched::Schedule Reschedule() const;
+  runtime::ScheduleCacheKey CacheKey() const;
 
   const ctg::Ctg* graph_;
   const ctg::ActivationAnalysis* analysis_;
@@ -85,6 +94,9 @@ class AdaptiveController {
   AdaptiveOptions options_;
   ctg::BranchProbabilities in_use_;
   profiling::SlidingWindowProfiler profiler_;
+  std::uint64_t graph_fingerprint_ = 0;
+  std::uint64_t platform_fingerprint_ = 0;
+  std::uint64_t config_fingerprint_ = 0;
   sched::Schedule schedule_;
   std::size_t reschedule_count_ = 0;
 };

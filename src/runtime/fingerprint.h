@@ -1,0 +1,37 @@
+/// \file fingerprint.h
+/// Structural 64-bit fingerprints for schedule-cache keys.
+///
+/// Two graphs (or platforms) with equal fingerprints are treated as
+/// interchangeable by the schedule cache, so the hashes cover exactly
+/// the inputs the scheduler and stretcher read: graph topology, join
+/// types, conditions, communication volumes and the deadline; platform
+/// WCET/energy tables, link parameters and DVFS capabilities. Task and
+/// PE names are deliberately excluded — they never influence a
+/// schedule.
+
+#ifndef ACTG_RUNTIME_FINGERPRINT_H
+#define ACTG_RUNTIME_FINGERPRINT_H
+
+#include <cstdint>
+
+#include "arch/platform.h"
+#include "ctg/graph.h"
+
+namespace actg::runtime {
+
+/// FNV-1a style single-step combine (not cryptographic; cache bucketing
+/// only).
+std::uint64_t HashCombine(std::uint64_t hash, std::uint64_t value);
+
+/// Hashes a double by its bit pattern (exact, no tolerance).
+std::uint64_t HashDouble(std::uint64_t hash, double value);
+
+/// Structural fingerprint of a CTG.
+std::uint64_t FingerprintCtg(const ctg::Ctg& graph);
+
+/// Structural fingerprint of a platform.
+std::uint64_t FingerprintPlatform(const arch::Platform& platform);
+
+}  // namespace actg::runtime
+
+#endif  // ACTG_RUNTIME_FINGERPRINT_H

@@ -1,0 +1,72 @@
+#include "runtime/metrics.h"
+
+namespace actg::runtime {
+
+Metrics& Metrics::Global() {
+  static Metrics metrics;
+  return metrics;
+}
+
+void Metrics::Increment(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::uint64_t Metrics::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Metrics::RecordTime(const std::string& name, std::int64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timer_ns_[name] += ns;
+}
+
+double Metrics::timer_ms(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = timer_ns_.find(name);
+  return it == timer_ns_.end() ? 0.0
+                               : static_cast<double>(it->second) * 1e-6;
+}
+
+std::map<std::string, std::uint64_t> Metrics::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, double> Metrics::TimersMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, ns] : timer_ns_) {
+    out[name] = static_cast<double>(ns) * 1e-6;
+  }
+  return out;
+}
+
+void Metrics::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  timer_ns_.clear();
+}
+
+void Metrics::WriteText(std::ostream& os) const {
+  for (const auto& [name, value] : Counters()) {
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [name, ms] : TimersMs()) {
+    os << name << "_ms " << ms << "\n";
+  }
+}
+
+void Metrics::WriteCsv(std::ostream& os) const {
+  os << "metric,kind,value\n";
+  for (const auto& [name, value] : Counters()) {
+    os << name << ",counter," << value << "\n";
+  }
+  for (const auto& [name, ms] : TimersMs()) {
+    os << name << ",timer_ms," << ms << "\n";
+  }
+}
+
+}  // namespace actg::runtime

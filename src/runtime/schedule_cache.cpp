@@ -1,0 +1,77 @@
+#include "runtime/schedule_cache.h"
+
+#include <cmath>
+
+#include "runtime/fingerprint.h"
+
+namespace actg::runtime {
+
+std::size_t ScheduleCache::KeyHash::operator()(
+    const ScheduleCacheKey& key) const {
+  std::uint64_t hash = key.graph_fingerprint;
+  hash = HashCombine(hash, key.platform_fingerprint);
+  hash = HashCombine(hash, key.config_fingerprint);
+  for (double p : key.probs) {
+    // Bucket by quantized probability; exact equality is checked by
+    // operator== on the stored key, so collisions only cost a probe.
+    hash = HashCombine(
+        hash, static_cast<std::uint64_t>(std::llround(
+                  p * static_cast<double>(quantization))));
+  }
+  return static_cast<std::size_t>(hash);
+}
+
+ScheduleCache::ScheduleCache(ScheduleCacheOptions options, Metrics* metrics)
+    : options_(options),
+      metrics_(metrics),
+      index_(/*bucket_count=*/16, KeyHash(options.quantization)) {}
+
+std::optional<ScheduleCacheEntry> ScheduleCache::Lookup(
+    const ScheduleCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    if (metrics_) metrics_->Increment("schedule_cache.misses");
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  if (metrics_) metrics_->Increment("schedule_cache.hits");
+  return it->second->entry;
+}
+
+void ScheduleCache::Insert(const ScheduleCacheKey& key,
+                           ScheduleCacheEntry entry) {
+  if (options_.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Slot{key, std::move(entry)});
+  index_.emplace(key, lru_.begin());
+  if (lru_.size() > options_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+    if (metrics_) metrics_->Increment("schedule_cache.evictions");
+  }
+}
+
+std::size_t ScheduleCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+double ScheduleCache::HitRate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) /
+                          static_cast<double>(total);
+}
+
+}  // namespace actg::runtime

@@ -1,0 +1,124 @@
+/// \file schedule_cache.h
+/// LRU memoization of (schedule, stretch) results for the adaptive
+/// controller.
+///
+/// The adaptive framework recomputes DLS + stretching every time a
+/// threshold crossing occurs — even when the windowed branch-probability
+/// estimate returns to an operating point it has already scheduled for
+/// (cyclic road scenarios, scene-change oscillations). The cache keys a
+/// completed (schedule, stretch stats) pair by the structural
+/// fingerprints of the graph and platform, a fingerprint of the
+/// scheduler/stretcher configuration, and the flattened branch
+/// probability vector.
+///
+/// Exactness contract: probabilities are *quantized only for hashing*
+/// (bucket selection); a lookup hits only when the stored probability
+/// vector matches the query bit-for-bit. A hit therefore returns
+/// exactly what recomputation would have produced (DLS and the
+/// stretcher are deterministic), so enabling the cache never changes
+/// any result — it only skips work. Windowed estimates are ratios of
+/// small integer counts over a fixed window length, so recurring
+/// operating points reproduce identical doubles and do hit.
+///
+/// Cached Schedule objects reference the graph/analysis/platform they
+/// were built from; those must outlive the cache.
+///
+/// All operations are thread-safe (single mutex; entries are copied out
+/// under the lock).
+
+#ifndef ACTG_RUNTIME_SCHEDULE_CACHE_H
+#define ACTG_RUNTIME_SCHEDULE_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dvfs/stretch.h"
+#include "runtime/metrics.h"
+#include "sched/schedule.h"
+
+namespace actg::runtime {
+
+/// Cache key. probs is the flattened outcome-probability vector over the
+/// graph's forks in topological fork order; equality is exact.
+struct ScheduleCacheKey {
+  std::uint64_t graph_fingerprint = 0;
+  std::uint64_t platform_fingerprint = 0;
+  std::uint64_t config_fingerprint = 0;
+  std::vector<double> probs;
+
+  friend bool operator==(const ScheduleCacheKey&,
+                         const ScheduleCacheKey&) = default;
+};
+
+/// A memoized scheduling + stretching result.
+struct ScheduleCacheEntry {
+  sched::Schedule schedule;
+  dvfs::StretchStats stretch;
+};
+
+/// Configuration of the cache.
+struct ScheduleCacheOptions {
+  /// Maximum number of entries; the least recently used is evicted.
+  std::size_t capacity = 128;
+  /// Hash resolution for the probability vector: probabilities are
+  /// bucketed as round(p * quantization) when hashing. Smaller values
+  /// group near-identical operating points into one bucket; the
+  /// exact-match check keeps results unchanged either way.
+  std::uint64_t quantization = 1u << 16;
+};
+
+/// Thread-safe LRU table of (key -> schedule, stretch stats).
+class ScheduleCache {
+ public:
+  /// \p metrics, when set, mirrors the hit/miss/eviction counters into
+  /// a Metrics registry under "schedule_cache.{hits,misses,evictions}".
+  explicit ScheduleCache(ScheduleCacheOptions options = {},
+                         Metrics* metrics = nullptr);
+
+  /// Returns a copy of the entry for \p key and marks it most recently
+  /// used; nullopt (and a miss) when absent.
+  std::optional<ScheduleCacheEntry> Lookup(const ScheduleCacheKey& key);
+
+  /// Inserts (or replaces) the entry for \p key as most recently used,
+  /// evicting the least recently used entry beyond capacity.
+  void Insert(const ScheduleCacheKey& key, ScheduleCacheEntry entry);
+
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Hits / (hits + misses); 0 when never queried.
+  double HitRate() const;
+
+ private:
+  struct Slot {
+    ScheduleCacheKey key;
+    ScheduleCacheEntry entry;
+  };
+  struct KeyHash {
+    explicit KeyHash(std::uint64_t quantization = 1)
+        : quantization(quantization) {}
+    std::size_t operator()(const ScheduleCacheKey& key) const;
+    std::uint64_t quantization;
+  };
+
+  ScheduleCacheOptions options_;
+  Metrics* metrics_;
+  mutable std::mutex mu_;
+  std::list<Slot> lru_;  // front = most recently used
+  std::unordered_map<ScheduleCacheKey, std::list<Slot>::iterator, KeyHash>
+      index_;
+  std::atomic<std::uint64_t> hits_ = 0;
+  std::atomic<std::uint64_t> misses_ = 0;
+  std::atomic<std::uint64_t> evictions_ = 0;
+};
+
+}  // namespace actg::runtime
+
+#endif  // ACTG_RUNTIME_SCHEDULE_CACHE_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "runtime/metrics.h"
 #include "util/error.h"
 
 namespace actg::sched {
@@ -63,6 +64,8 @@ Schedule RunDls(const ctg::Ctg& graph,
                 const arch::Platform& platform,
                 const ctg::BranchProbabilities& probs,
                 const DlsOptions& options) {
+  const runtime::ScopedTimer stage_timer(runtime::Metrics::Global(),
+                                         "stage.dls");
   const std::size_t n = graph.task_count();
   Schedule schedule(graph, analysis, platform);
   if (options.fixed_mapping != nullptr) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/metrics.h"
 #include "util/error.h"
 
 namespace actg::sim {
@@ -80,6 +81,8 @@ void RunSummary::Add(const InstanceResult& r) {
 
 RunSummary RunTrace(const sched::Schedule& schedule,
                     const trace::BranchTrace& trace) {
+  const runtime::ScopedTimer stage_timer(runtime::Metrics::Global(),
+                                         "stage.sim");
   RunSummary summary;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     summary.Add(ExecuteInstance(schedule, trace.At(i)));

@@ -70,4 +70,33 @@ void WriteReport(std::ostream& os, const ScheduleReport& report) {
   table.Print(os);
 }
 
+void WriteMetricsReport(std::ostream& os,
+                        const runtime::Metrics& metrics) {
+  const auto counters = metrics.Counters();
+  const auto timers = metrics.TimersMs();
+  if (!counters.empty()) {
+    util::TablePrinter table({"counter", "value"});
+    for (const auto& [name, value] : counters) {
+      table.BeginRow().Cell(name).Cell(value);
+    }
+    table.Print(os);
+  }
+  if (!timers.empty()) {
+    util::TablePrinter table({"stage", "total ms", "calls", "ms/call"});
+    for (const auto& [name, ms] : timers) {
+      const std::uint64_t calls = metrics.counter(name + ".calls");
+      table.BeginRow()
+          .Cell(name)
+          .Cell(ms, 2)
+          .Cell(calls)
+          .Cell(calls == 0 ? 0.0 : ms / static_cast<double>(calls), 4);
+    }
+    table.Print(os);
+  }
+}
+
+void WriteMetricsCsv(std::ostream& os, const runtime::Metrics& metrics) {
+  metrics.WriteCsv(os);
+}
+
 }  // namespace actg::sim

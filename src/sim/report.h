@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ctg/condition.h"
+#include "runtime/metrics.h"
 #include "sched/schedule.h"
 
 namespace actg::sim {
@@ -47,6 +48,17 @@ ScheduleReport BuildReport(const sched::Schedule& schedule,
 
 /// Renders the report as an aligned table.
 void WriteReport(std::ostream& os, const ScheduleReport& report);
+
+/// Renders a runtime metrics registry as an aligned table: counters
+/// first, then the per-stage wall-clock timers with mean cost per call.
+/// Counter values are deterministic for a fixed workload; timer values
+/// are wall-clock and vary run to run (keep them out of outputs that
+/// must be reproducible bit-for-bit).
+void WriteMetricsReport(std::ostream& os,
+                        const runtime::Metrics& metrics);
+
+/// Dumps a runtime metrics registry as CSV ("metric,kind,value").
+void WriteMetricsCsv(std::ostream& os, const runtime::Metrics& metrics);
 
 }  // namespace actg::sim
 

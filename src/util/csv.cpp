@@ -1,9 +1,17 @@
 #include "util/csv.h"
 
+#include <filesystem>
 #include <iomanip>
 #include <sstream>
 
 namespace actg::util {
+
+std::string OutputPath(const std::string& filename,
+                       const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  return (std::filesystem::path(dir) / filename).string();
+}
 
 std::string CsvWriter::Escape(const std::string& cell) {
   const bool needs_quotes =

@@ -11,6 +11,12 @@
 
 namespace actg::util {
 
+/// Returns "<dir>/<filename>" after creating \p dir (default "out",
+/// which .gitignore excludes). All generated CSV series go through this
+/// so experiment outputs never land in the source tree.
+std::string OutputPath(const std::string& filename,
+                       const std::string& dir = "out");
+
 /// Writes rows of cells as RFC-4180-ish CSV (quotes cells containing
 /// commas, quotes or newlines; doubles embedded quotes).
 class CsvWriter {

@@ -61,6 +61,19 @@ void Xoshiro256::Jump() {
   state_[3] = s3;
 }
 
+Xoshiro256 Xoshiro256::Fork(std::uint64_t stream) const {
+  // Digest the current state and the stream index into one 64-bit seed;
+  // the child constructor expands it through SplitMix64. A state/stream
+  // collision would require a 64-bit digest collision, which is
+  // negligible for the stream counts of a parallel sweep.
+  std::uint64_t digest = state_[0];
+  digest = Rotl(digest, 13) ^ state_[1];
+  digest = Rotl(digest, 29) ^ state_[2];
+  digest = Rotl(digest, 41) ^ state_[3];
+  std::uint64_t mix = digest + (stream + 1) * 0x9E3779B97F4A7C15ULL;
+  return Xoshiro256(SplitMix64(mix));
+}
+
 double Random::UniformUnit() {
   // 53 high bits -> double in [0, 1) with full mantissa resolution.
   return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;

@@ -38,6 +38,14 @@ class Xoshiro256 {
   /// single stream into non-overlapping substreams.
   void Jump();
 
+  /// Splittable substream: derives an independent child engine from the
+  /// current state and \p stream without advancing this engine. The same
+  /// (state, stream) pair always yields the same child, so parallel jobs
+  /// seeded with Fork(job_index) are reproducible regardless of worker
+  /// count or scheduling order. Distinct streams re-seed through
+  /// SplitMix64 into distant regions of the 2^256 state space.
+  Xoshiro256 Fork(std::uint64_t stream) const;
+
  private:
   std::uint64_t state_[4];
 };
@@ -48,6 +56,15 @@ class Random {
  public:
   explicit Random(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
       : engine_(seed) {}
+
+  /// Wraps an existing engine (used by Fork).
+  explicit Random(Xoshiro256 engine) : engine_(engine) {}
+
+  /// Splittable substream with a fresh distribution state; see
+  /// Xoshiro256::Fork. Does not advance this generator.
+  Random Fork(std::uint64_t stream) const {
+    return Random(engine_.Fork(stream));
+  }
 
   /// Uniform double in [0, 1).
   double UniformUnit();

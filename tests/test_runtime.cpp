@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "adaptive/controller.h"
+#include "apps/fig1_example.h"
+#include "ctg/activation.h"
+#include "dvfs/stretch.h"
+#include "experiments.h"
+#include "runtime/fingerprint.h"
+#include "runtime/metrics.h"
+#include "runtime/pool.h"
+#include "runtime/schedule_cache.h"
+#include "sched/dls.h"
+#include "util/rng.h"
+
+namespace actg::runtime {
+namespace {
+
+// ---------------------------------------------------------------- Pool
+
+TEST(Pool, RunsEachIndexExactlyOnce) {
+  Pool pool(8);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) { ++counts[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Pool, ZeroJobsAndZeroItemsComplete) {
+  Pool serial(0);  // clamped to 1: the calling thread participates
+  int ran = 0;
+  serial.ParallelFor(3, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 3);
+  serial.ParallelFor(0, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Pool, ParallelMapReturnsResultsInIndexOrder) {
+  Pool pool(8);
+  const std::vector<std::size_t> squares =
+      ParallelMap(pool, 100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(Pool, NestedParallelForRunsInline) {
+  // A body that issues ParallelFor on the same pool must not deadlock
+  // (nested batches drain on the issuing thread).
+  Pool pool(4);
+  std::vector<std::atomic<int>> counts(64);
+  pool.ParallelFor(8, [&](std::size_t outer) {
+    pool.ParallelFor(8, [&](std::size_t inner) {
+      ++counts[outer * 8 + inner];
+    });
+  });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(Pool, ExceptionPropagatesAndPoolSurvives) {
+  Pool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](std::size_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must remain usable after a failed batch.
+  std::atomic<int> ran = 0;
+  pool.ParallelFor(10, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(Pool, ParseJobsFlag) {
+  const char* argv1[] = {"bench", "--jobs", "5"};
+  EXPECT_EQ(ParseJobs(3, const_cast<char**>(argv1)), 5u);
+  const char* argv2[] = {"bench", "--jobs=3"};
+  EXPECT_EQ(ParseJobs(2, const_cast<char**>(argv2)), 3u);
+  const char* argv3[] = {"bench", "--jobs", "0"};
+  EXPECT_EQ(ParseJobs(3, const_cast<char**>(argv3)), HardwareJobs());
+  // Garbage values fall back to the default instead of wrapping into a
+  // gigantic unsigned thread count.
+  const char* argv4[] = {"bench", "--jobs", "-4"};
+  EXPECT_EQ(ParseJobs(3, const_cast<char**>(argv4)), DefaultJobs());
+  const char* argv5[] = {"bench", "--jobs", "abc"};
+  EXPECT_EQ(ParseJobs(3, const_cast<char**>(argv5)), DefaultJobs());
+}
+
+// ---------------------------------------------- Deterministic sweeps
+
+/// One seeded Monte-Carlo job: a few hundred draws from a forked
+/// substream reduced to a vector of doubles. Depends only on the index.
+std::vector<double> SweepJob(const util::Random& base, std::size_t i) {
+  util::Random rng = base.Fork(i);
+  std::vector<double> out;
+  out.reserve(64);
+  for (int k = 0; k < 64; ++k) out.push_back(rng.Uniform(-1.0, 1.0));
+  return out;
+}
+
+TEST(Determinism, ParallelMapIdenticalForAnyWorkerCount) {
+  const util::Random base(2024);
+  Pool serial(1);
+  Pool wide(8);
+  const auto a = ParallelMap(
+      serial, 128, [&](std::size_t i) { return SweepJob(base, i); });
+  const auto b = ParallelMap(
+      wide, 128, [&](std::size_t i) { return SweepJob(base, i); });
+  // Bitwise equality, not approximate: the contract is bit-identical
+  // results regardless of worker count.
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t k = 0; k < a[i].size(); ++k) {
+      EXPECT_EQ(a[i][k], b[i][k]) << "job " << i << " draw " << k;
+    }
+  }
+}
+
+TEST(Determinism, Table4StyleSweepIdenticalAcrossWorkerCounts) {
+  // A miniature Table-4 sweep (two CTGs, short traces) computed through
+  // a 1-worker and an 8-worker pool must agree bit-for-bit, including
+  // the nested ParallelMap inside CompareAdaptive.
+  std::vector<bench::TestCase> cases = bench::MakeTable45Cases();
+  cases.erase(cases.begin() + 2, cases.end());
+
+  auto sweep = [&](Pool& pool) {
+    return ParallelMap(pool, cases.size(), [&](std::size_t i) {
+      const bench::TestCase& test = cases[i];
+      const ctg::ActivationAnalysis analysis(test.rc.graph);
+      const trace::BranchTrace vectors = bench::MakeFluctuatingVectors(
+          test.rc.graph, 60, 777 + static_cast<std::uint64_t>(i) + 1);
+      const ctg::BranchProbabilities profile = bench::BiasedProfile(
+          test.rc.graph, analysis, test.rc.platform, /*lowest=*/true);
+      return bench::CompareAdaptive(test.rc.graph, analysis,
+                                    test.rc.platform, profile, vectors,
+                                    &pool);
+    });
+  };
+
+  Pool serial(1);
+  Pool wide(8);
+  const auto rows_serial = sweep(serial);
+  const auto rows_wide = sweep(wide);
+  ASSERT_EQ(rows_serial.size(), rows_wide.size());
+  for (std::size_t i = 0; i < rows_serial.size(); ++i) {
+    EXPECT_EQ(rows_serial[i].online_energy, rows_wide[i].online_energy);
+    EXPECT_EQ(rows_serial[i].adaptive_energy_t05,
+              rows_wide[i].adaptive_energy_t05);
+    EXPECT_EQ(rows_serial[i].adaptive_energy_t01,
+              rows_wide[i].adaptive_energy_t01);
+    EXPECT_EQ(rows_serial[i].calls_t05, rows_wide[i].calls_t05);
+    EXPECT_EQ(rows_serial[i].calls_t01, rows_wide[i].calls_t01);
+  }
+}
+
+// ----------------------------------------------------------------- Rng
+
+TEST(RngFork, SameStreamYieldsSameChild) {
+  const util::Random base(7);
+  util::Random a = base.Fork(11);
+  util::Random b = base.Fork(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.engine().Next(), b.engine().Next());
+  }
+}
+
+TEST(RngFork, DoesNotAdvanceParent) {
+  util::Random a(7);
+  util::Random b(7);
+  (void)a.Fork(1);
+  (void)a.Fork(2);
+  EXPECT_EQ(a.engine().Next(), b.engine().Next());
+}
+
+TEST(RngFork, SubstreamsAreNonOverlapping) {
+  // 4096 draws from the parent and from each of 8 children must be
+  // pairwise disjoint 64-bit sets (a collision among ~37k draws from a
+  // 2^64 output space would be astronomically unlikely unless two
+  // streams actually coincide or are shifted copies).
+  constexpr int kDraws = 4096;
+  util::Xoshiro256 parent(123);
+  std::vector<std::vector<std::uint64_t>> streams;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    util::Xoshiro256 child = parent.Fork(s);
+    std::vector<std::uint64_t> draws(kDraws);
+    for (auto& d : draws) d = child.Next();
+    streams.push_back(std::move(draws));
+  }
+  std::vector<std::uint64_t> parent_draws(kDraws);
+  for (auto& d : parent_draws) d = parent.Next();
+  streams.push_back(std::move(parent_draws));
+
+  std::set<std::uint64_t> seen;
+  std::size_t total = 0;
+  for (const auto& stream : streams) {
+    seen.insert(stream.begin(), stream.end());
+    total += stream.size();
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+// --------------------------------------------------------------- Cache
+
+/// Fixture building real (schedule, stretch) entries from the paper's
+/// Fig. 1 example so cached payloads are genuine Schedule objects.
+class ScheduleCacheFixture : public ::testing::Test {
+ protected:
+  ScheduleCacheFixture()
+      : ex_(apps::MakeFig1Example()), analysis_(ex_.graph) {}
+
+  ScheduleCacheEntry MakeEntry(const ctg::BranchProbabilities& probs) {
+    sched::Schedule schedule =
+        sched::RunDls(ex_.graph, analysis_, ex_.platform, probs);
+    const dvfs::StretchStats stats = dvfs::StretchOnline(schedule, probs);
+    return ScheduleCacheEntry{std::move(schedule), stats};
+  }
+
+  ScheduleCacheKey MakeKey(std::vector<double> probs) const {
+    ScheduleCacheKey key;
+    key.graph_fingerprint = FingerprintCtg(ex_.graph);
+    key.platform_fingerprint = FingerprintPlatform(ex_.platform);
+    key.config_fingerprint = 1;
+    key.probs = std::move(probs);
+    return key;
+  }
+
+  apps::Fig1Example ex_;
+  ctg::ActivationAnalysis analysis_;
+};
+
+TEST_F(ScheduleCacheFixture, HitReturnsExactCachedPair) {
+  ScheduleCache cache;
+  const ScheduleCacheKey key = MakeKey({0.4, 0.6, 0.3, 0.7});
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const ScheduleCacheEntry inserted = MakeEntry(ex_.probs);
+  cache.Insert(key, inserted);
+
+  const auto hit = cache.Lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  // The cached pair is exactly what was inserted.
+  EXPECT_EQ(hit->schedule.Makespan(), inserted.schedule.Makespan());
+  for (TaskId task : ex_.graph.TaskIds()) {
+    EXPECT_EQ(hit->schedule.placement(task).pe.value,
+              inserted.schedule.placement(task).pe.value);
+    EXPECT_EQ(hit->schedule.placement(task).speed_ratio,
+              inserted.schedule.placement(task).speed_ratio);
+  }
+  EXPECT_EQ(hit->stretch.path_count, inserted.stretch.path_count);
+  EXPECT_EQ(hit->stretch.total_extension_ms,
+            inserted.stretch.total_extension_ms);
+  EXPECT_EQ(hit->stretch.max_path_delay_ms,
+            inserted.stretch.max_path_delay_ms);
+}
+
+TEST_F(ScheduleCacheFixture, NearIdenticalProbabilitiesDoNotHit) {
+  // Quantization only buckets the hash; equality is exact, so a
+  // probability vector differing in the last bit must miss even though
+  // it lands in the same hash bucket.
+  ScheduleCache cache;
+  const ScheduleCacheKey key = MakeKey({0.4, 0.6});
+  cache.Insert(key, MakeEntry(ex_.probs));
+
+  ScheduleCacheKey near = key;
+  near.probs[0] = std::nextafter(near.probs[0], 1.0);
+  EXPECT_FALSE(cache.Lookup(near).has_value());
+  EXPECT_TRUE(cache.Lookup(key).has_value());
+}
+
+TEST_F(ScheduleCacheFixture, RespectsLruCapacity) {
+  ScheduleCacheOptions options;
+  options.capacity = 2;
+  ScheduleCache cache(options);
+  const ScheduleCacheEntry entry = MakeEntry(ex_.probs);
+
+  const ScheduleCacheKey k1 = MakeKey({0.1});
+  const ScheduleCacheKey k2 = MakeKey({0.2});
+  const ScheduleCacheKey k3 = MakeKey({0.3});
+  cache.Insert(k1, entry);
+  cache.Insert(k2, entry);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch k1 so k2 becomes least recently used, then overflow.
+  EXPECT_TRUE(cache.Lookup(k1).has_value());
+  cache.Insert(k3, entry);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Lookup(k1).has_value());
+  EXPECT_FALSE(cache.Lookup(k2).has_value());
+  EXPECT_TRUE(cache.Lookup(k3).has_value());
+}
+
+TEST_F(ScheduleCacheFixture, ConcurrentLookupsAndInsertsAreSafe) {
+  // Exercised under TSan in CI: threads sharing one cache.
+  ScheduleCacheOptions options;
+  options.capacity = 8;
+  ScheduleCache cache(options);
+  const ScheduleCacheEntry entry = MakeEntry(ex_.probs);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        const ScheduleCacheKey key =
+            MakeKey({static_cast<double>((t + i) % 12) / 12.0});
+        if (!cache.Lookup(key).has_value()) cache.Insert(key, entry);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 800u);
+}
+
+TEST_F(ScheduleCacheFixture, AdaptiveRunUnchangedByCacheWithHits) {
+  // The paper's adaptive loop with and without memoization must agree
+  // exactly — same energies, same re-schedule count — while a cyclic
+  // workload (operating points revisited after the window refills)
+  // produces real cache hits.
+  auto run = [&](ScheduleCache* cache) {
+    adaptive::AdaptiveOptions options;
+    options.window = 4;
+    options.threshold = 0.1;
+    options.schedule_cache = cache;
+    adaptive::AdaptiveController controller(ex_.graph, analysis_,
+                                            ex_.platform, ex_.probs,
+                                            options);
+    ctg::BranchAssignment a(ex_.graph.task_count());
+    a.Set(ex_.tau(3), 0);
+    a.Set(ex_.tau(5), 0);
+    ctg::BranchAssignment b(ex_.graph.task_count());
+    b.Set(ex_.tau(3), 1);
+    b.Set(ex_.tau(5), 1);
+
+    double total = 0.0;
+    for (int cycle = 0; cycle < 6; ++cycle) {
+      for (int i = 0; i < 8; ++i) {
+        total += controller.ProcessInstance(cycle % 2 == 0 ? a : b)
+                     .energy_mj;
+      }
+    }
+    return std::pair<double, std::size_t>(total,
+                                          controller.reschedule_count());
+  };
+
+  const auto baseline = run(nullptr);
+  ScheduleCache cache;
+  const auto cached = run(&cache);
+
+  EXPECT_EQ(baseline.first, cached.first);
+  EXPECT_EQ(baseline.second, cached.second);
+  EXPECT_GT(baseline.second, 0u);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+// -------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, CountersAndTimers) {
+  Metrics metrics;
+  metrics.Increment("a");
+  metrics.Increment("a", 4);
+  EXPECT_EQ(metrics.counter("a"), 5u);
+  EXPECT_EQ(metrics.counter("never"), 0u);
+
+  { const ScopedTimer timer(metrics, "stage.x"); }
+  EXPECT_EQ(metrics.counter("stage.x.calls"), 1u);
+  EXPECT_GE(metrics.timer_ms("stage.x"), 0.0);
+
+  metrics.Reset();
+  EXPECT_EQ(metrics.counter("a"), 0u);
+  EXPECT_TRUE(metrics.Counters().empty());
+}
+
+TEST(MetricsTest, ConcurrentIncrementsSumExactly) {
+  Metrics metrics;
+  Pool pool(8);
+  pool.ParallelFor(1000, [&](std::size_t) {
+    metrics.Increment("hits");
+  });
+  EXPECT_EQ(metrics.counter("hits"), 1000u);
+}
+
+TEST(MetricsTest, CsvDumpHasHeaderAndRows) {
+  Metrics metrics;
+  metrics.Increment("cache.hits", 3);
+  metrics.RecordTime("stage.dls", 2'000'000);
+  std::ostringstream os;
+  metrics.WriteCsv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("metric,kind,value"), std::string::npos);
+  EXPECT_NE(csv.find("cache.hits,counter,3"), std::string::npos);
+  EXPECT_NE(csv.find("stage.dls"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace actg::runtime
