@@ -12,12 +12,10 @@
 #include <iostream>
 #include <vector>
 
-#include "adaptive/controller.h"
 #include "ctg/activation.h"
 #include "dvfs/stretch.h"
 #include "experiments.h"
 #include "runtime/pool.h"
-#include "runtime/schedule_cache.h"
 #include "sched/dls.h"
 #include "sim/energy.h"
 #include "sim/executor.h"
@@ -82,23 +80,18 @@ SweepTotals AdaptiveSweep(runtime::Pool& pool,
             test.rc.graph, 500, 777 + static_cast<std::uint64_t>(index));
         const auto profile = bench::BiasedProfile(
             test.rc.graph, analysis, test.rc.platform, true);
-        sched::Schedule online = sched::RunDls(test.rc.graph, analysis,
-                                               test.rc.platform, profile);
-        dvfs::StretchOnline(online, profile);
+        bench::ExperimentSpec spec(test.rc.graph, analysis,
+                                   test.rc.platform);
+        spec.WithProfile(profile).WithWindow(window)
+            .WithThreshold(threshold).WithScheduleCache();
+        const sched::Schedule online = spec.BuildOnlineSchedule();
 
         SweepRow row;
         row.online = sim::RunTrace(online, vectors).total_energy_mj;
 
-        runtime::ScheduleCache cache({}, &runtime::Metrics::Global());
-        adaptive::AdaptiveOptions options;
-        options.window = window;
-        options.threshold = threshold;
-        options.schedule_cache = &cache;
-        adaptive::AdaptiveController controller(
-            test.rc.graph, analysis, test.rc.platform, profile, options);
-        row.adaptive =
-            adaptive::RunAdaptive(controller, vectors).total_energy_mj;
-        row.calls = controller.reschedule_count();
+        bench::AdaptiveHarness harness = spec.BuildAdaptive();
+        row.adaptive = harness.Run(vectors).total_energy_mj;
+        row.calls = harness.reschedule_count();
         return row;
       });
 

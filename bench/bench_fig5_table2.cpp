@@ -11,13 +11,10 @@
 
 #include <iostream>
 
-#include "adaptive/controller.h"
 #include "apps/mpeg.h"
 #include "ctg/activation.h"
-#include "dvfs/stretch.h"
+#include "experiments.h"
 #include "runtime/pool.h"
-#include "runtime/schedule_cache.h"
-#include "sched/dls.h"
 #include "sim/executor.h"
 #include "sim/report.h"
 #include "util/table.h"
@@ -57,9 +54,9 @@ int main(int argc, char** argv) {
         // schedule.
         const ctg::BranchProbabilities profile =
             training.ProfiledProbabilities(model.graph);
-        sched::Schedule online =
-            sched::RunDls(model.graph, analysis, model.platform, profile);
-        dvfs::StretchOnline(online, profile);
+        bench::ExperimentSpec spec(model.graph, analysis, model.platform);
+        spec.WithProfile(profile).WithWindow(20).WithScheduleCache();
+        const sched::Schedule online = spec.BuildOnlineSchedule();
 
         Row row;
         row.online_avg = sim::RunTrace(online, testing).AverageEnergy();
@@ -69,18 +66,11 @@ int main(int argc, char** argv) {
         // so each controller memoizes through a schedule cache.
         const double thresholds[2] = {0.5, 0.1};
         for (int t = 0; t < 2; ++t) {
-          runtime::ScheduleCache cache({}, &runtime::Metrics::Global());
-          adaptive::AdaptiveOptions options;
-          options.window = 20;
-          options.threshold = thresholds[t];
-          options.schedule_cache = &cache;
-          adaptive::AdaptiveController controller(model.graph, analysis,
-                                                  model.platform, profile,
-                                                  options);
-          const sim::RunSummary run =
-              adaptive::RunAdaptive(controller, testing);
+          bench::AdaptiveHarness harness =
+              spec.WithThreshold(thresholds[t]).BuildAdaptive();
+          const sim::RunSummary run = harness.Run(testing);
           row.adaptive_energy[t] = run.AverageEnergy();
-          row.calls[t] = controller.reschedule_count();
+          row.calls[t] = harness.reschedule_count();
         }
         return row;
       });

@@ -9,13 +9,9 @@
 
 #include <iostream>
 
-#include "adaptive/controller.h"
 #include "ctg/activation.h"
-#include "dvfs/stretch.h"
 #include "experiments.h"
 #include "runtime/pool.h"
-#include "runtime/schedule_cache.h"
-#include "sched/dls.h"
 #include "sim/executor.h"
 #include "sim/report.h"
 #include "util/table.h"
@@ -54,25 +50,19 @@ int main(int argc, char** argv) {
         const ctg::BranchProbabilities ideal =
             vectors.ProfiledProbabilities(test.rc.graph);
 
-        sched::Schedule online = sched::RunDls(test.rc.graph, analysis,
-                                               test.rc.platform, ideal);
-        dvfs::StretchOnline(online, ideal);
+        bench::ExperimentSpec spec(test.rc.graph, analysis,
+                                   test.rc.platform);
+        spec.WithProfile(ideal).WithWindow(20).WithThreshold(0.5)
+            .WithScheduleCache();
+        const sched::Schedule online = spec.BuildOnlineSchedule();
 
         Row row;
         row.online_energy = sim::RunTrace(online, vectors).total_energy_mj;
 
-        runtime::ScheduleCache cache({}, &runtime::Metrics::Global());
-        adaptive::AdaptiveOptions options;
-        options.window = 20;
-        options.threshold = 0.5;
-        options.schedule_cache = &cache;
-        adaptive::AdaptiveController controller(test.rc.graph, analysis,
-                                                test.rc.platform, ideal,
-                                                options);
-        const sim::RunSummary run =
-            adaptive::RunAdaptive(controller, vectors);
+        bench::AdaptiveHarness harness = spec.BuildAdaptive();
+        const sim::RunSummary run = harness.Run(vectors);
         row.adaptive_energy = run.total_energy_mj;
-        row.calls = controller.reschedule_count();
+        row.calls = harness.reschedule_count();
         return row;
       });
 

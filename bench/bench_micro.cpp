@@ -5,19 +5,25 @@
 /// stretching (paper: 0.6 ms vs 70 s per CTG), which is what makes it
 /// usable for runtime adaptation.
 
+#include <cstdlib>
+#include <fstream>
+
 #include <benchmark/benchmark.h>
 
 #include "apps/common.h"
 #include "apps/mpeg.h"
 #include "ctg/activation.h"
+#include "dvfs/path_engine.h"
 #include "dvfs/paths.h"
 #include "dvfs/stretch.h"
+#include "experiments.h"
 #include "profiling/window.h"
+#include "runtime/metrics.h"
 #include "sched/dls.h"
 #include "sim/energy.h"
 #include "sim/executor.h"
+#include "sim/report.h"
 #include "tgff/random_ctg.h"
-#include "adaptive/controller.h"
 
 namespace {
 
@@ -125,20 +131,61 @@ void BM_AdaptiveStepNoTrigger(benchmark::State& state) {
   // Cost of one instance through the controller when no threshold
   // crossing occurs (the common case).
   Workbench wb;
-  adaptive::AdaptiveOptions options;
-  options.window = 20;
-  options.threshold = 0.99;
-  adaptive::AdaptiveController controller(wb.rc.graph, wb.analysis,
-                                          wb.rc.platform, wb.probs,
-                                          options);
+  bench::AdaptiveHarness harness =
+      bench::ExperimentSpec(wb.rc.graph, wb.analysis, wb.rc.platform)
+          .WithProfile(wb.probs)
+          .WithWindow(20)
+          .WithThreshold(0.99)
+          .BuildAdaptive();
   ctg::BranchAssignment assignment(wb.rc.graph.task_count());
   for (TaskId fork : wb.rc.graph.ForkIds()) assignment.Set(fork, 0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        controller.ProcessInstance(assignment).energy_mj);
+        harness.controller().ProcessInstance(assignment).energy_mj);
   }
 }
 BENCHMARK(BM_AdaptiveStepNoTrigger);
+
+void BM_RescheduleEngine(benchmark::State& state) {
+  // One full adaptive reschedule — DLS + path enumeration + online
+  // stretching — through a persistent PathEngine, exactly as the
+  // controller runs it: bitset guard algebra, preallocated path/guard
+  // pools and DLS scratch reused across iterations.
+  const auto cases = bench::MakeTable1Cases();
+  const bench::TestCase& test =
+      cases[static_cast<std::size_t>(state.range(0))];
+  const ctg::ActivationAnalysis analysis(test.rc.graph);
+  const auto probs = apps::UniformProbabilities(test.rc.graph);
+  dvfs::PathEngine engine(test.rc.graph, analysis, test.rc.platform);
+  for (auto _ : state) {
+    sched::Schedule s =
+        sched::RunDls(test.rc.graph, analysis, test.rc.platform, probs,
+                      {}, &engine.dls_workspace());
+    const auto stats = dvfs::StretchOnline(s, probs, {}, &engine);
+    benchmark::DoNotOptimize(stats.total_extension_ms);
+  }
+}
+BENCHMARK(BM_RescheduleEngine)->Arg(0)->Arg(4);
+
+void BM_RescheduleDnf(benchmark::State& state) {
+  // Baseline for BM_RescheduleEngine: the pre-engine behavior — a
+  // fresh allocation-heavy DNF enumeration per reschedule
+  // (PathEngineOptions::force_dnf) and no reused DLS scratch.
+  const auto cases = bench::MakeTable1Cases();
+  const bench::TestCase& test =
+      cases[static_cast<std::size_t>(state.range(0))];
+  const ctg::ActivationAnalysis analysis(test.rc.graph);
+  const auto probs = apps::UniformProbabilities(test.rc.graph);
+  for (auto _ : state) {
+    sched::Schedule s =
+        sched::RunDls(test.rc.graph, analysis, test.rc.platform, probs);
+    dvfs::PathEngine engine(test.rc.graph, analysis, test.rc.platform,
+                            dvfs::PathEngineOptions{.force_dnf = true});
+    const auto stats = dvfs::StretchOnline(s, probs, {}, &engine);
+    benchmark::DoNotOptimize(stats.total_extension_ms);
+  }
+}
+BENCHMARK(BM_RescheduleDnf)->Arg(0)->Arg(4);
 
 void BM_MpegFullPipeline(benchmark::State& state) {
   // The graph the paper says the NLP reference could not handle at all.
@@ -189,4 +236,18 @@ BENCHMARK(BM_SlidingWindowObserve);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus an optional metrics dump: when ACTG_METRICS_CSV
+// names a file, the accumulated runtime counters and stage timers of the
+// whole run (guard.dnf_fallbacks, cache hits, stage.* wall clocks) are
+// written there as CSV. CI uploads it as the perf artifact.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("ACTG_METRICS_CSV")) {
+    std::ofstream out(path);
+    actg::sim::WriteMetricsCsv(out, actg::runtime::Metrics::Global());
+  }
+  return 0;
+}

@@ -9,13 +9,10 @@
 
 #include <iostream>
 
-#include "adaptive/controller.h"
 #include "apps/cruise.h"
 #include "ctg/activation.h"
-#include "dvfs/stretch.h"
+#include "experiments.h"
 #include "runtime/pool.h"
-#include "runtime/schedule_cache.h"
-#include "sched/dls.h"
 #include "sim/executor.h"
 #include "sim/report.h"
 #include "util/table.h"
@@ -59,9 +56,9 @@ int main(int argc, char** argv) {
         const trace::BranchTrace vectors =
             apps::GenerateRoadTrace(model, sequence, 1000,
                                     /*seed=*/100 + sequence);
-        sched::Schedule online =
-            sched::RunDls(model.graph, analysis, model.platform, profile);
-        dvfs::StretchOnline(online, profile);
+        bench::ExperimentSpec spec(model.graph, analysis, model.platform);
+        spec.WithProfile(profile).WithWindow(20).WithScheduleCache();
+        const sched::Schedule online = spec.BuildOnlineSchedule();
 
         Row row;
         row.online_energy =
@@ -70,18 +67,11 @@ int main(int argc, char** argv) {
         // Paper: threshold 0.1 for the first two sequences, 0.5 for the
         // third.
         row.threshold = sequence == 3 ? 0.5 : 0.1;
-        runtime::ScheduleCache cache({}, &runtime::Metrics::Global());
-        adaptive::AdaptiveOptions options;
-        options.window = 20;
-        options.threshold = row.threshold;
-        options.schedule_cache = &cache;
-        adaptive::AdaptiveController controller(model.graph, analysis,
-                                                model.platform, profile,
-                                                options);
-        const sim::RunSummary adaptive_run =
-            adaptive::RunAdaptive(controller, vectors);
+        bench::AdaptiveHarness harness =
+            spec.WithThreshold(row.threshold).BuildAdaptive();
+        const sim::RunSummary adaptive_run = harness.Run(vectors);
         row.adaptive_energy = adaptive_run.total_energy_mj;
-        row.calls = controller.reschedule_count();
+        row.calls = harness.reschedule_count();
         return row;
       });
 

@@ -44,9 +44,11 @@ int main(int argc, char** argv) {
             test.rc.graph, 1000, 777 + static_cast<std::uint64_t>(index));
         const ctg::BranchProbabilities profile = bench::BiasedProfile(
             test.rc.graph, analysis, test.rc.platform, /*lowest=*/false);
-        return bench::CompareAdaptive(test.rc.graph, analysis,
-                                      test.rc.platform, profile, vectors,
-                                      &pool);
+        bench::ExperimentSpec spec(test.rc.graph, analysis,
+                                   test.rc.platform);
+        spec.WithProfile(profile).WithWindow(20).WithScheduleCache()
+            .WithPool(&pool);
+        return bench::CompareAdaptive(spec, vectors);
       });
 
   int index = 0;

@@ -3,12 +3,13 @@
 #include <limits>
 #include <memory>
 
-#include "adaptive/controller.h"
 #include "apps/common.h"
+#include "dvfs/stretch.h"
 #include "sched/dls.h"
 #include "sim/energy.h"
 #include "sim/executor.h"
 #include "trace/generators.h"
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace actg::bench {
@@ -119,12 +120,36 @@ ctg::BranchProbabilities BiasedProfile(
   return profile;
 }
 
-AdaptiveComparison CompareAdaptive(const ctg::Ctg& graph,
-                                   const ctg::ActivationAnalysis& analysis,
-                                   const arch::Platform& platform,
-                                   const ctg::BranchProbabilities& profile,
-                                   const trace::BranchTrace& vectors,
-                                   runtime::Pool* pool) {
+sim::RunSummary AdaptiveHarness::Run(const trace::BranchTrace& vectors) {
+  return adaptive::RunAdaptive(*controller_, vectors);
+}
+
+sched::Schedule ExperimentSpec::BuildOnlineSchedule() const {
+  ACTG_CHECK(profile_ != nullptr, "ExperimentSpec: profile not set");
+  sched::Schedule schedule =
+      sched::RunDls(*graph_, *analysis_, *platform_, *profile_);
+  dvfs::StretchOnline(schedule, *profile_);
+  return schedule;
+}
+
+AdaptiveHarness ExperimentSpec::BuildAdaptive() const {
+  ACTG_CHECK(profile_ != nullptr, "ExperimentSpec: profile not set");
+  AdaptiveHarness harness;
+  if (use_cache_) {
+    harness.cache_ = std::make_unique<runtime::ScheduleCache>(
+        runtime::ScheduleCacheOptions{}, metrics_);
+  }
+  adaptive::AdaptiveOptions options;
+  options.window_length = window_length_;
+  options.threshold = threshold_;
+  options.schedule_cache = harness.cache_.get();
+  harness.controller_ = std::make_unique<adaptive::AdaptiveController>(
+      *graph_, *analysis_, *platform_, *profile_, options);
+  return harness;
+}
+
+AdaptiveComparison CompareAdaptive(const ExperimentSpec& spec,
+                                   const trace::BranchTrace& vectors) {
   AdaptiveComparison result;
 
   // The online run and the two adaptive thresholds are independent;
@@ -132,31 +157,24 @@ AdaptiveComparison CompareAdaptive(const ctg::Ctg& graph,
   const double thresholds[2] = {0.5, 0.1};
   auto run_unit = [&](std::size_t job) {
     if (job == 0) {
-      sched::Schedule online =
-          sched::RunDls(graph, analysis, platform, profile);
-      dvfs::StretchOnline(online, profile);
+      const sched::Schedule online = spec.BuildOnlineSchedule();
       result.online_energy = sim::RunTrace(online, vectors).total_energy_mj;
       return;
     }
-    runtime::ScheduleCache cache({}, &runtime::Metrics::Global());
-    adaptive::AdaptiveOptions options;
-    options.window = 20;
-    options.threshold = thresholds[job - 1];
-    options.schedule_cache = &cache;
-    adaptive::AdaptiveController controller(graph, analysis, platform,
-                                            profile, options);
-    const sim::RunSummary summary =
-        adaptive::RunAdaptive(controller, vectors);
+    ExperimentSpec unit = spec;
+    AdaptiveHarness harness =
+        unit.WithThreshold(thresholds[job - 1]).BuildAdaptive();
+    const sim::RunSummary summary = harness.Run(vectors);
     if (job == 1) {
       result.adaptive_energy_t05 = summary.total_energy_mj;
-      result.calls_t05 = controller.reschedule_count();
+      result.calls_t05 = harness.reschedule_count();
     } else {
       result.adaptive_energy_t01 = summary.total_energy_mj;
-      result.calls_t01 = controller.reschedule_count();
+      result.calls_t01 = harness.reschedule_count();
     }
   };
-  if (pool != nullptr) {
-    runtime::ParallelMap(*pool, 3, [&](std::size_t job) {
+  if (spec.pool() != nullptr) {
+    runtime::ParallelMap(*spec.pool(), 3, [&](std::size_t job) {
       run_unit(job);
       return 0;
     });

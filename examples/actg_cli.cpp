@@ -17,20 +17,18 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <string>
 
-#include "adaptive/controller.h"
 #include "apps/common.h"
 #include "ctg/activation.h"
 #include "dvfs/algorithms.h"
+#include "experiments.h"
 #include "io/text_format.h"
 #include "sched/gantt.h"
 #include "sim/energy.h"
 #include "sim/executor.h"
 #include "sim/report.h"
 #include "tgff/random_ctg.h"
-#include "trace/generators.h"
 #include "util/error.h"
 #include "util/table.h"
 
@@ -124,18 +122,8 @@ int CmdSimulate(int argc, char** argv) {
   const ctg::ActivationAnalysis analysis(graph);
 
   // Equal-average fluctuating vectors (the Tables 4/5 workload).
-  trace::TraceGenerator gen(graph);
-  int k = 0;
-  for (TaskId fork : graph.ForkIds()) {
-    trace::SinusoidProcess::Params sp;
-    sp.outcomes = graph.OutcomeCount(fork);
-    sp.amplitude = 0.45;
-    sp.period = 150.0 + 70.0 * k;
-    sp.phase = 0.7 * k++;
-    gen.SetProcess(fork, std::make_unique<trace::SinusoidProcess>(sp));
-  }
-  util::Random rng(seed);
-  const trace::BranchTrace vectors = gen.Generate(instances, rng);
+  const trace::BranchTrace vectors =
+      bench::MakeFluctuatingVectors(graph, instances, seed);
   const auto profile = vectors.ProfiledProbabilities(graph);
 
   const sched::Schedule online =
@@ -150,18 +138,17 @@ int CmdSimulate(int argc, char** argv) {
       .Cell(base.AverageEnergy(), 3)
       .Cell(0)
       .Cell(base.deadline_misses);
+  bench::ExperimentSpec spec(graph, analysis, platform);
+  spec.WithProfile(profile).WithWindow(20);
   for (double threshold : {0.5, 0.1}) {
-    adaptive::AdaptiveOptions options;
-    options.window = 20;
-    options.threshold = threshold;
-    adaptive::AdaptiveController controller(graph, analysis, platform,
-                                            profile, options);
-    const sim::RunSummary run = adaptive::RunAdaptive(controller, vectors);
+    bench::AdaptiveHarness harness =
+        spec.WithThreshold(threshold).BuildAdaptive();
+    const sim::RunSummary run = harness.Run(vectors);
     table.BeginRow()
         .Cell("adaptive T=" + util::TablePrinter::Format(threshold, 1))
         .Cell(run.total_energy_mj, 1)
         .Cell(run.AverageEnergy(), 3)
-        .Cell(controller.reschedule_count())
+        .Cell(harness.reschedule_count())
         .Cell(run.deadline_misses);
   }
   table.Print(std::cout);

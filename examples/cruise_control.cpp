@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
         sim::RunTrace(online, vectors).total_energy_mj;
 
     adaptive::AdaptiveOptions options;
-    options.window = 20;
+    options.window_length = 20;
     options.threshold = 0.1;
     adaptive::AdaptiveController controller(model.graph, analysis,
                                             model.platform, profile,

@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
       .Cell(non_adaptive.deadline_misses);
   for (double threshold : {0.5, 0.1}) {
     adaptive::AdaptiveOptions options;
-    options.window = 20;
+    options.window_length = 20;
     options.threshold = threshold;
     adaptive::AdaptiveController controller(model.graph, analysis,
                                             model.platform, profile,

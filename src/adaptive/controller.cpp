@@ -25,7 +25,29 @@ std::uint64_t FingerprintConfig(const AdaptiveOptions& options) {
   return fp;
 }
 
+/// Validates up front so construction fails before the expensive
+/// initial Reschedule() runs (the members below initialize in
+/// declaration order, and schedule_'s initializer reschedules).
+AdaptiveOptions Validated(AdaptiveOptions options) {
+  options.Validate().ThrowIfError();
+  return options;
+}
+
 }  // namespace
+
+util::Error AdaptiveOptions::Validate() const {
+  if (window_length == 0) {
+    return util::Error::Invalid(
+        "AdaptiveOptions: window_length must be > 0");
+  }
+  if (!(threshold > 0.0) || threshold > 1.0) {
+    return util::Error::Invalid(
+        "AdaptiveOptions: threshold must lie in (0, 1]");
+  }
+  if (util::Error err = dls.Validate()) return err;
+  if (util::Error err = stretch.Validate()) return err;
+  return {};
+}
 
 AdaptiveController::AdaptiveController(
     const ctg::Ctg& graph, const ctg::ActivationAnalysis& analysis,
@@ -34,16 +56,16 @@ AdaptiveController::AdaptiveController(
     : graph_(&graph),
       analysis_(&analysis),
       platform_(&platform),
-      options_(options),
+      options_(Validated(options)),
       in_use_(std::move(initial_probs)),
-      profiler_(graph, options.window),
+      profiler_(graph, options.window_length),
       graph_fingerprint_(runtime::FingerprintCtg(graph)),
       platform_fingerprint_(runtime::FingerprintPlatform(platform)),
       config_fingerprint_(FingerprintConfig(options)),
-      schedule_(Reschedule()) {
-  ACTG_CHECK(options_.threshold > 0.0 && options_.threshold <= 1.0,
-             "Adaptation threshold must lie in (0, 1]");
-}
+      engine_(std::make_unique<dvfs::PathEngine>(
+          graph, analysis, platform,
+          dvfs::PathEngineOptions{.max_paths = options.stretch.max_paths})),
+      schedule_(Reschedule()) {}
 
 runtime::ScheduleCacheKey AdaptiveController::CacheKey() const {
   runtime::ScheduleCacheKey key;
@@ -59,6 +81,8 @@ runtime::ScheduleCacheKey AdaptiveController::CacheKey() const {
 }
 
 sched::Schedule AdaptiveController::Reschedule() const {
+  const runtime::ScopedTimer stage_timer(runtime::Metrics::Global(),
+                                         "stage.reschedule");
   runtime::ScheduleCacheKey key;
   if (options_.schedule_cache != nullptr) {
     key = CacheKey();
@@ -67,10 +91,15 @@ sched::Schedule AdaptiveController::Reschedule() const {
       return std::move(cached->schedule);
     }
   }
+  // Both stages run on the controller's reusable workspace: RunDls
+  // borrows the engine's DLS scratch buffers, StretchOnline the path
+  // enumeration pools. Results are identical to workspace-free calls.
   sched::Schedule schedule =
-      sched::RunDls(*graph_, *analysis_, *platform_, in_use_, options_.dls);
+      sched::RunDls(*graph_, *analysis_, *platform_, in_use_, options_.dls,
+                    &engine_->dls_workspace());
   const dvfs::StretchStats stats =
-      dvfs::StretchOnline(schedule, in_use_, options_.stretch);
+      dvfs::StretchOnline(schedule, in_use_, options_.stretch,
+                          engine_.get());
   if (options_.schedule_cache != nullptr) {
     options_.schedule_cache->Insert(
         key, runtime::ScheduleCacheEntry{schedule, stats});

@@ -14,17 +14,20 @@
 #define ACTG_ADAPTIVE_CONTROLLER_H
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "arch/platform.h"
 #include "ctg/activation.h"
 #include "ctg/condition.h"
+#include "dvfs/path_engine.h"
 #include "dvfs/stretch.h"
 #include "profiling/window.h"
 #include "runtime/schedule_cache.h"
 #include "sched/dls.h"
 #include "sim/executor.h"
 #include "trace/trace.h"
+#include "util/error.h"
 
 namespace actg::adaptive {
 
@@ -32,7 +35,7 @@ namespace actg::adaptive {
 struct AdaptiveOptions {
   /// Sliding window length L (paper: 20 for MPEG/cruise/random CTGs,
   /// 50 in the Fig. 4 illustration).
-  std::size_t window = 20;
+  std::size_t window_length = 20;
   /// Threshold on the windowed-vs-in-use probability difference that
   /// triggers re-scheduling (paper: 0.1 and 0.5).
   double threshold = 0.1;
@@ -47,6 +50,12 @@ struct AdaptiveOptions {
   /// shared between controllers (it is thread-safe and keyed by graph/
   /// platform/config fingerprints), and must outlive the controller.
   runtime::ScheduleCache* schedule_cache = nullptr;
+
+  /// Ok when every knob is usable: window_length must be positive,
+  /// threshold must lie in (0, 1], and the nested dls/stretch options
+  /// must validate. The controller rejects invalid options up front
+  /// (constructor throws) instead of failing mid-run.
+  util::Error Validate() const;
 };
 
 /// Runtime manager owning the current schedule, the profiler and the
@@ -97,6 +106,12 @@ class AdaptiveController {
   std::uint64_t graph_fingerprint_ = 0;
   std::uint64_t platform_fingerprint_ = 0;
   std::uint64_t config_fingerprint_ = 0;
+  // Reusable reschedule workspace (path enumeration + DLS scratch),
+  // constructed once per controller and shared by every Reschedule()
+  // call, including the initial one — must precede schedule_, whose
+  // initializer runs Reschedule(). unique_ptr so the controller stays
+  // movable and Reschedule() can use the engine from a const method.
+  std::unique_ptr<dvfs::PathEngine> engine_;
   sched::Schedule schedule_;
   std::size_t reschedule_count_ = 0;
 };

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ctg/condition.h"
+#include "ctg/condition_bitset.h"
 #include "ctg/graph.h"
 
 namespace actg::ctg {
@@ -45,6 +46,18 @@ class ActivationAnalysis {
   /// Γ(τ): the minterms of X(τ).
   const std::vector<Minterm>& Gamma(TaskId task) const {
     return ActivationGuard(task).minterms();
+  }
+
+  /// Bit layout over the graph's forks. Invalid (valid() == false) when
+  /// the graph does not fit the fixed width; callers must then stay on
+  /// the DNF algebra.
+  const ConditionSpace& space() const { return space_; }
+
+  /// Compiled form of X(τ). Meaningful only when space().valid(); the
+  /// compiled guards answer exactly the form-independent predicates
+  /// (satisfiability, emptiness, evaluation) of the DNF guard.
+  const BitGuard& BitActivationGuard(TaskId task) const {
+    return bit_guards_.at(task.index());
   }
 
   /// True when the two tasks can never be active in the same instance
@@ -86,6 +99,7 @@ class ActivationAnalysis {
 
  private:
   void ComputeGuards();
+  void CompileBitGuards();
   void ComputeMutex();
   void ComputeImpliedDeps();
   void EnumerateScenariosRec(const Minterm& current, double prob,
@@ -95,6 +109,8 @@ class ActivationAnalysis {
 
   const Ctg* graph_;
   std::vector<Guard> guards_;
+  ConditionSpace space_;
+  std::vector<BitGuard> bit_guards_;  // empty when !space_.valid()
   std::vector<std::vector<bool>> mutex_;
   std::vector<std::pair<TaskId, TaskId>> implied_deps_;
 };

@@ -1,0 +1,189 @@
+/// \file path_engine.h
+/// Reusable path-enumeration workspace for the reschedule hot path.
+///
+/// The adaptive controller re-runs DLS + path enumeration + stretching
+/// on every threshold crossing; PathSet (paths.h) rebuilds all of its
+/// scaffolding — adjacency, per-path task/edge/guard vectors, spanning
+/// lists — from scratch on every call, and carries a DNF guard per path
+/// whose conjunctions allocate at every DFS step. A PathEngine is
+/// constructed once per (graph, analysis, platform) and owns all of
+/// that storage: flat task/edge/guard pools, the scheduled-DAG
+/// adjacency, the DFS guard stack, per-task spanning lists, and a
+/// sched::DlsWorkspace for the scheduler's scratch buffers. Repeated
+/// Enumerate() calls reuse every buffer's capacity, and path guards are
+/// kept in the compiled bitset form of condition_bitset.h, so the
+/// realizability test at each DFS step and the guard-vs-minterm
+/// compatibility tests during stretching are word ops.
+///
+/// The engine falls back to the DNF algebra (with the
+/// "guard.dnf_fallbacks" metrics counter) when the graph does not fit
+/// the fixed bit width; PathEngineOptions::force_dnf selects the same
+/// DNF mode explicitly so benchmarks can compare the two
+/// representations in one binary. Both modes enumerate the same paths
+/// in the same order and answer the same predicates — the bitset is a
+/// representation change, not a semantics change.
+///
+/// Lifetime and ownership rules: the engine borrows graph/analysis/
+/// platform (they must outlive it) and is bound to them for life; every
+/// Enumerate() call must pass a Schedule over those same objects. One
+/// engine serves one thread at a time; concurrent controllers each own
+/// their own engine (see adaptive::AdaptiveController).
+
+#ifndef ACTG_DVFS_PATH_ENGINE_H
+#define ACTG_DVFS_PATH_ENGINE_H
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "arch/platform.h"
+#include "ctg/activation.h"
+#include "ctg/condition.h"
+#include "ctg/condition_bitset.h"
+#include "sched/dls.h"
+#include "sched/schedule.h"
+
+namespace actg::dvfs {
+
+/// Construction-time knobs of a PathEngine.
+struct PathEngineOptions {
+  /// Guard against pathological path explosion (same contract as
+  /// PathSet: enumeration throws actg::InvalidArgument past the limit).
+  std::size_t max_paths = 1 << 20;
+  /// Forces the DNF guard representation even when the graph fits the
+  /// bitset width. Exists so bench_micro can measure bitset vs DNF in
+  /// one binary; production callers leave it false.
+  bool force_dnf = false;
+};
+
+/// Reusable path-enumeration + stretch workspace. See the file comment
+/// for the lifetime rules.
+class PathEngine {
+ public:
+  PathEngine(const ctg::Ctg& graph, const ctg::ActivationAnalysis& analysis,
+             const arch::Platform& platform, PathEngineOptions options = {});
+
+  const ctg::Ctg& graph() const { return *graph_; }
+  const ctg::ActivationAnalysis& analysis() const { return *analysis_; }
+  const PathEngineOptions& options() const { return options_; }
+
+  /// True when path guards are kept in bitset form; false in DNF mode
+  /// (fallback or force_dnf).
+  bool using_bitset() const { return use_bitset_; }
+
+  /// Enumerates all source-to-sink paths of \p schedule's scheduled DAG
+  /// into the engine's storage, replacing any previous enumeration.
+  /// The schedule must be over the engine's graph/analysis/platform.
+  /// Semantics match PathSet: with \p drop_unrealizable, paths whose
+  /// guard is false are skipped during the DFS; without it they are
+  /// kept (mutex-blind Reference Algorithm 1 analysis).
+  void Enumerate(const sched::Schedule& schedule,
+                 bool drop_unrealizable = true);
+
+  /// Number of paths of the current enumeration.
+  std::size_t size() const { return paths_.size(); }
+
+  /// Tasks of path \p i in path order.
+  std::span<const TaskId> TasksOf(std::size_t i) const;
+
+  /// Edges of path \p i (between consecutive tasks; nullopt for
+  /// pseudo/control edges).
+  std::span<const std::optional<EdgeId>> EdgesOf(std::size_t i) const;
+
+  double comm_ms(std::size_t i) const { return paths_.at(i).comm_ms; }
+  double delay_ms(std::size_t i) const { return paths_.at(i).delay_ms; }
+  double unlocked_ms(std::size_t i) const {
+    return paths_.at(i).unlocked_ms;
+  }
+
+  /// Remaining slack of path \p i against \p deadline_ms.
+  double Slack(std::size_t i, double deadline_ms) const {
+    return deadline_ms - delay_ms(i);
+  }
+
+  /// Distributable slack per unit of unlocked execution time (see
+  /// Path::SlackRatio).
+  double SlackRatio(std::size_t i, double deadline_ms) const;
+
+  /// Indices of the paths that span \p task.
+  const std::vector<std::size_t>& Spanning(TaskId task) const {
+    return by_task_.at(task.index());
+  }
+
+  /// True when path \p i's guard and \p m can hold simultaneously
+  /// (satisfiability of the conjunction — the predicate the stretching
+  /// heuristic needs per Γ(τ) minterm).
+  bool GuardCompatibleWith(std::size_t i, const ctg::Minterm& m) const;
+
+  /// prob(p, τ): joint probability of the conditional branches on path
+  /// \p i lying at or after \p task.
+  double ProbAfter(std::size_t i, TaskId task,
+                   const ctg::BranchProbabilities& probs) const;
+
+  /// Commits a stretched-and-locked task (see PathSet::CommitTask).
+  void CommitTask(TaskId task, double extra_ms, double nominal_ms);
+
+  /// Largest delay over all paths of the current enumeration.
+  double MaxDelay() const;
+
+  /// Path \p i's guard in DNF form; only available in DNF mode
+  /// (!using_bitset()), for tests and the mutex-blind baseline.
+  const ctg::Guard& DnfGuard(std::size_t i) const;
+
+  /// Scratch buffers for sched::RunDls, so a controller-owned engine
+  /// also amortizes the scheduler's per-call allocations.
+  sched::DlsWorkspace& dls_workspace() { return dls_workspace_; }
+
+ private:
+  struct PathRecord {
+    std::size_t task_begin = 0;
+    std::size_t task_count = 0;
+    std::size_t edge_begin = 0;  // task_count - 1 entries
+    std::size_t guard_begin = 0;  // bitset mode: into guard_pool_
+    std::size_t guard_count = 0;
+    double comm_ms = 0.0;
+    double delay_ms = 0.0;
+    double unlocked_ms = 0.0;
+  };
+
+  void VisitBit(const sched::Schedule& schedule, TaskId task,
+                std::size_t depth, bool drop_unrealizable);
+  void VisitDnf(const sched::Schedule& schedule, TaskId task,
+                std::size_t depth, bool drop_unrealizable);
+  void Emit(const sched::Schedule& schedule, std::size_t depth);
+  std::size_t PositionOf(std::size_t i, TaskId task) const;
+
+  const ctg::Ctg* graph_;
+  const ctg::ActivationAnalysis* analysis_;
+  const arch::Platform* platform_;
+  PathEngineOptions options_;
+  bool use_bitset_ = false;
+
+  // Compiled once at construction (bitset mode).
+  std::vector<ctg::BitMinterm> edge_cond_bits_;  // dense by edge index
+  std::vector<bool> edge_has_cond_;
+
+  // Reused across Enumerate() calls.
+  sched::Schedule::DagAdjacency adj_;
+  std::vector<bool> has_pred_;
+  std::vector<ctg::BitGuard> bit_stack_;   // DFS guard per depth
+  std::vector<ctg::Guard> dnf_stack_;      // DNF mode
+  ctg::BitGuard and_scratch_;
+  std::vector<TaskId> task_stack_;
+  std::vector<std::optional<EdgeId>> edge_stack_;
+
+  // Current enumeration (flat pools; cleared keeping capacity).
+  std::vector<PathRecord> paths_;
+  std::vector<TaskId> task_pool_;
+  std::vector<std::optional<EdgeId>> edge_pool_;
+  std::vector<ctg::BitMinterm> guard_pool_;
+  std::vector<ctg::Guard> dnf_guards_;
+  std::vector<std::vector<std::size_t>> by_task_;
+
+  sched::DlsWorkspace dls_workspace_;
+};
+
+}  // namespace actg::dvfs
+
+#endif  // ACTG_DVFS_PATH_ENGINE_H

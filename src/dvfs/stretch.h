@@ -19,6 +19,13 @@
 ///   projected gradient descent plus a coordinate-fill polish. Orders of
 ///   magnitude slower than the heuristic, slightly better energy — the
 ///   paper's Table 1 trade-off.
+///
+/// Every stretcher runs its path analysis on a dvfs::PathEngine. The
+/// optional trailing parameter lets a caller that reschedules
+/// repeatedly (the adaptive controller) pass its own engine so the
+/// enumeration buffers are reused across calls; when omitted, a
+/// transient engine is built for the call — results are identical
+/// either way.
 
 #ifndef ACTG_DVFS_STRETCH_H
 #define ACTG_DVFS_STRETCH_H
@@ -27,8 +34,11 @@
 
 #include "ctg/condition.h"
 #include "sched/schedule.h"
+#include "util/error.h"
 
 namespace actg::dvfs {
+
+class PathEngine;
 
 /// Diagnostics returned by every stretcher.
 struct StretchStats {
@@ -45,6 +55,9 @@ struct StretchStats {
 struct StretchOptions {
   /// Guard against pathological path explosion.
   std::size_t max_paths = 1 << 20;
+
+  /// Ok when the options are usable: max_paths must be positive.
+  util::Error Validate() const;
 };
 
 /// The paper's online task stretching heuristic (Fig. 2). Requires a
@@ -52,27 +65,36 @@ struct StretchOptions {
 /// fork. Updates speed ratios in place and recomputes the schedule times.
 StretchStats StretchOnline(sched::Schedule& schedule,
                            const ctg::BranchProbabilities& probs,
-                           const StretchOptions& options = {});
+                           const StretchOptions& options = {},
+                           PathEngine* engine = nullptr);
 
 /// Probability-blind slack distribution (Reference Algorithm 1 stage 2).
 StretchStats StretchProportional(sched::Schedule& schedule,
-                                 const StretchOptions& options = {});
+                                 const StretchOptions& options = {},
+                                 PathEngine* engine = nullptr);
 
 /// Configuration of the convex-solver stretcher.
 struct NlpOptions {
-  StretchOptions base;
+  /// Path-analysis knobs shared with the other stretchers.
+  StretchOptions stretch;
   /// Projected-gradient iterations.
   int iterations = 4000;
   /// Initial relative step size.
   double initial_step = 0.05;
   /// Feasibility sweeps per projection.
   int projection_sweeps = 64;
+
+  /// Ok when the options are usable: stretch must validate, iteration
+  /// and sweep counts must be positive, the initial step must lie in
+  /// (0, 1].
+  util::Error Validate() const;
 };
 
 /// Convex-solver stretching (Reference Algorithm 2 stage 2).
 StretchStats StretchNlp(sched::Schedule& schedule,
                         const ctg::BranchProbabilities& probs,
-                        const NlpOptions& options = {});
+                        const NlpOptions& options = {},
+                        PathEngine* engine = nullptr);
 
 }  // namespace actg::dvfs
 

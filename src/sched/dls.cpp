@@ -26,11 +26,12 @@ double EarliestGap(const std::vector<std::pair<double, double>>& busy,
 }
 
 /// Incremental transitive-reduction helper: true when \p dst is reachable
-/// from \p src over \p adj.
-bool Reachable(const std::vector<std::vector<int>>& adj, int src, int dst) {
+/// from \p src over \p adj. \p stack and \p seen are caller-owned scratch.
+bool Reachable(const std::vector<std::vector<int>>& adj, int src, int dst,
+               std::vector<int>& stack, std::vector<bool>& seen) {
   if (src == dst) return true;
-  std::vector<int> stack{src};
-  std::vector<bool> seen(adj.size(), false);
+  stack.assign(1, src);
+  seen.assign(adj.size(), false);
   seen[static_cast<std::size_t>(src)] = true;
   while (!stack.empty()) {
     const int u = stack.back();
@@ -48,6 +49,22 @@ bool Reachable(const std::vector<std::vector<int>>& adj, int src, int dst) {
 
 }  // namespace
 
+util::Error DlsOptions::Validate() const {
+  if (fixed_mapping != nullptr) {
+    if (fixed_mapping->empty()) {
+      return util::Error::Invalid(
+          "DlsOptions: fixed_mapping, when set, must not be empty");
+    }
+    for (PeId pe : *fixed_mapping) {
+      if (!pe.valid()) {
+        return util::Error::Invalid(
+            "DlsOptions: fixed_mapping contains an invalid PE id");
+      }
+    }
+  }
+  return {};
+}
+
 std::vector<PeId> RoundRobinMapping(const ctg::Ctg& graph,
                                     const arch::Platform& platform) {
   std::vector<PeId> mapping(graph.task_count());
@@ -63,9 +80,10 @@ Schedule RunDls(const ctg::Ctg& graph,
                 const ctg::ActivationAnalysis& analysis,
                 const arch::Platform& platform,
                 const ctg::BranchProbabilities& probs,
-                const DlsOptions& options) {
+                const DlsOptions& options, DlsWorkspace* workspace) {
   const runtime::ScopedTimer stage_timer(runtime::Metrics::Global(),
                                          "stage.dls");
+  options.Validate().ThrowIfError();
   const std::size_t n = graph.task_count();
   Schedule schedule(graph, analysis, platform);
   if (options.fixed_mapping != nullptr) {
@@ -73,23 +91,31 @@ Schedule RunDls(const ctg::Ctg& graph,
                "fixed_mapping must assign a PE to every task");
   }
 
-  const std::vector<double> levels =
-      ComputeStaticLevels(graph, platform, probs, options.level_policy);
+  DlsWorkspace local_workspace;
+  DlsWorkspace& ws = workspace != nullptr ? *workspace : local_workspace;
+
+  ws.levels.clear();
+  ComputeStaticLevels(graph, platform, probs, options.level_policy)
+      .swap(ws.levels);
+  const std::vector<double>& levels = ws.levels;
 
   // Predecessor bookkeeping over the base scheduled DAG (CTG edges plus
   // implied fork -> or-node control dependencies).
-  std::vector<int> pending_preds(n, 0);
+  ws.pending_preds.assign(n, 0);
+  std::vector<int>& pending_preds = ws.pending_preds;
   for (EdgeId eid : graph.EdgeIds()) {
     ++pending_preds[graph.edge(eid).dst.index()];
   }
-  std::vector<std::vector<TaskId>> control_preds(n);
+  ws.control_preds.resize(n);
+  for (auto& preds : ws.control_preds) preds.clear();
+  std::vector<std::vector<TaskId>>& control_preds = ws.control_preds;
   for (const ExtraEdge& e : schedule.control_edges()) {
     control_preds[e.dst.index()].push_back(e.src);
     ++pending_preds[e.dst.index()];
   }
 
-  std::vector<bool> scheduled(n, false);
-  std::vector<TaskId> ready_list;
+  ws.ready_list.clear();
+  std::vector<TaskId>& ready_list = ws.ready_list;
   for (std::size_t i = 0; i < n; ++i) {
     if (pending_preds[i] == 0) {
       ready_list.push_back(TaskId{static_cast<int>(i)});
@@ -97,12 +123,10 @@ Schedule RunDls(const ctg::Ctg& graph,
   }
 
   // Per-PE committed intervals: (start, finish, task).
-  struct Interval {
-    double start;
-    double finish;
-    TaskId task;
-  };
-  std::vector<std::vector<Interval>> timelines(platform.pe_count());
+  using Interval = DlsWorkspace::Interval;
+  ws.timelines.resize(platform.pe_count());
+  for (auto& timeline : ws.timelines) timeline.clear();
+  std::vector<std::vector<Interval>>& timelines = ws.timelines;
 
   const auto data_ready_on = [&](TaskId task, PeId pe) {
     double ready = 0.0;
@@ -120,7 +144,8 @@ Schedule RunDls(const ctg::Ctg& graph,
 
   const auto earliest_start = [&](TaskId task, PeId pe) {
     const double ready = data_ready_on(task, pe);
-    std::vector<std::pair<double, double>> busy;
+    std::vector<std::pair<double, double>>& busy = ws.busy;
+    busy.clear();
     busy.reserve(timelines[pe.index()].size());
     for (const Interval& iv : timelines[pe.index()]) {
       if (options.mutex_aware &&
@@ -186,7 +211,6 @@ Schedule RunDls(const ctg::Ctg& graph,
           platform.CommTime(e.comm_kbytes, src.pe, best_pe);
     }
 
-    scheduled[best_task.index()] = true;
     ready_list.erase(
         std::find(ready_list.begin(), ready_list.end(), best_task));
     for (EdgeId eid : graph.OutEdges(best_task)) {
@@ -203,7 +227,9 @@ Schedule RunDls(const ctg::Ctg& graph,
 
   // Derive pseudo order edges: every ordered non-mutex pair sharing a PE,
   // transitively reduced against the existing DAG.
-  std::vector<std::vector<int>> adj(n);
+  ws.adj.resize(n);
+  for (auto& out : ws.adj) out.clear();
+  std::vector<std::vector<int>>& adj = ws.adj;
   for (EdgeId eid : graph.EdgeIds()) {
     adj[graph.edge(eid).src.index()].push_back(graph.edge(eid).dst.value);
   }
@@ -230,7 +256,8 @@ Schedule RunDls(const ctg::Ctg& graph,
           continue;
         ACTG_ASSERT(timeline[i].finish <= timeline[j].start + 1e-6,
                     "non-mutex tasks overlap on one PE after DLS");
-        if (!Reachable(adj, a.value, b.value)) {
+        if (!Reachable(adj, a.value, b.value, ws.reach_stack,
+                       ws.reach_seen)) {
           schedule.AddPseudoEdge(a, b);
           adj[a.index()].push_back(b.value);
         }

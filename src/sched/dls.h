@@ -23,6 +23,7 @@
 #include "ctg/graph.h"
 #include "sched/schedule.h"
 #include "sched/static_level.h"
+#include "util/error.h"
 
 namespace actg::sched {
 
@@ -38,6 +39,11 @@ struct DlsOptions {
   /// which orders and stretches tasks on a *given* mapping ("tasks that
   /// are mapped to the same processor are ordered for a maximum slack").
   const std::vector<PeId>* fixed_mapping = nullptr;
+
+  /// Ok when the options are usable: a fixed mapping, when given, must
+  /// be non-empty and assign only valid PE ids (RunDls additionally
+  /// checks it covers every task of the graph it is handed).
+  util::Error Validate() const;
 };
 
 /// A naive mapping for ordering-only baselines: tasks are assigned
@@ -46,16 +52,42 @@ struct DlsOptions {
 std::vector<PeId> RoundRobinMapping(const ctg::Ctg& graph,
                                     const arch::Platform& platform);
 
+/// Reusable scratch buffers for RunDls. A workspace kept alive across
+/// reschedules (e.g. inside a dvfs::PathEngine) lets repeated DLS runs
+/// on the same graph skip all per-call vector growth; the produced
+/// schedules are identical with or without one. Contents are
+/// meaningless between calls.
+struct DlsWorkspace {
+  /// One committed busy interval of a PE timeline.
+  struct Interval {
+    double start;
+    double finish;
+    TaskId task;
+  };
+
+  std::vector<double> levels;
+  std::vector<int> pending_preds;
+  std::vector<std::vector<TaskId>> control_preds;
+  std::vector<TaskId> ready_list;
+  std::vector<std::vector<Interval>> timelines;
+  std::vector<std::pair<double, double>> busy;
+  std::vector<std::vector<int>> adj;
+  std::vector<int> reach_stack;
+  std::vector<bool> reach_seen;
+};
+
 /// Runs DLS and returns the complete schedule (placements, commit order,
 /// communication windows, pseudo order edges; all speed ratios 1).
 ///
 /// \p probs must cover every fork of the graph. The referenced objects
-/// must outlive the returned schedule.
+/// must outlive the returned schedule. \p workspace, when given,
+/// provides reusable scratch storage (see DlsWorkspace).
 Schedule RunDls(const ctg::Ctg& graph,
                 const ctg::ActivationAnalysis& analysis,
                 const arch::Platform& platform,
                 const ctg::BranchProbabilities& probs,
-                const DlsOptions& options = {});
+                const DlsOptions& options = {},
+                DlsWorkspace* workspace = nullptr);
 
 }  // namespace actg::sched
 

@@ -65,18 +65,24 @@ double Schedule::Makespan() const {
 }
 
 Schedule::DagAdjacency Schedule::BuildDagAdjacency() const {
-  DagAdjacency adj(graph_->task_count());
+  DagAdjacency adj;
+  BuildDagAdjacency(adj);
+  return adj;
+}
+
+void Schedule::BuildDagAdjacency(DagAdjacency& out) const {
+  out.resize(graph_->task_count());
+  for (auto& successors : out) successors.clear();
   for (EdgeId eid : graph_->EdgeIds()) {
     const ctg::Edge& e = graph_->edge(eid);
-    adj[e.src.index()].emplace_back(e.dst, eid);
+    out[e.src.index()].emplace_back(e.dst, eid);
   }
   for (const ExtraEdge& e : control_edges_) {
-    adj[e.src.index()].emplace_back(e.dst, std::nullopt);
+    out[e.src.index()].emplace_back(e.dst, std::nullopt);
   }
   for (const ExtraEdge& e : pseudo_edges_) {
-    adj[e.src.index()].emplace_back(e.dst, std::nullopt);
+    out[e.src.index()].emplace_back(e.dst, std::nullopt);
   }
-  return adj;
 }
 
 void Schedule::RecomputeTimes() {

@@ -120,6 +120,10 @@ class Schedule {
   /// Builds the forward adjacency of the scheduled DAG.
   DagAdjacency BuildDagAdjacency() const;
 
+  /// Builds the adjacency into \p out, reusing its storage (the
+  /// per-task inner vectors keep their capacity across reschedules).
+  void BuildDagAdjacency(DagAdjacency& out) const;
+
   /// Validates internal consistency: every precedence constraint of the
   /// scheduled DAG is respected by the recorded times; no two non-mutex
   /// tasks overlap on one PE; speed ratios respect the PE minimum.

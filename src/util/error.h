@@ -43,6 +43,45 @@ namespace detail {
                                      const std::string& message);
 }  // namespace detail
 
+namespace util {
+
+/// Value-semantic error status for validation-style APIs (the Validate()
+/// methods of the options structs). Unlike the exception hierarchy
+/// above, an Error is an expected, inspectable outcome: Ok() means the
+/// validated object is usable; otherwise message() explains the first
+/// problem found. Contextually convertible to bool (true == failure) so
+/// call sites read `if (auto err = opts.Validate()) ...`.
+class [[nodiscard]] Error {
+ public:
+  /// The success value.
+  Error() = default;
+
+  /// A failure carrying \p message.
+  static Error Invalid(std::string message) {
+    Error e;
+    e.message_ = std::move(message);
+    return e;
+  }
+
+  bool ok() const { return message_.empty(); }
+  explicit operator bool() const { return !ok(); }
+
+  /// Explanation of the failure; empty on success.
+  const std::string& message() const { return message_; }
+
+  /// Throws actg::InvalidArgument when this is a failure; no-op on
+  /// success. Lets constructors enforce validation without duplicating
+  /// the message.
+  void ThrowIfError() const {
+    if (!ok()) throw InvalidArgument(message_);
+  }
+
+ private:
+  std::string message_;
+};
+
+}  // namespace util
+
 }  // namespace actg
 
 /// Validates a documented precondition; throws actg::InvalidArgument with

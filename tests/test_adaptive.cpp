@@ -21,7 +21,7 @@ class AdaptiveFixture : public ::testing::Test {
   AdaptiveController MakeController(double threshold,
                                     std::size_t window = 8) {
     AdaptiveOptions options;
-    options.window = window;
+    options.window_length = window;
     options.threshold = threshold;
     return AdaptiveController(ex_.graph, analysis_, ex_.platform,
                               ex_.probs, options);
@@ -220,7 +220,7 @@ TEST(AdaptiveRandom, BeatsMisprofiledOnlineOnDriftingTraces) {
     online_total += sim::RunTrace(online, trace).total_energy_mj;
 
     AdaptiveOptions options;
-    options.window = 20;
+    options.window_length = 20;
     options.threshold = 0.1;
     AdaptiveController ctrl(rc.graph, analysis, rc.platform, biased,
                             options);

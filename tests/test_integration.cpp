@@ -67,8 +67,9 @@ TEST(Table4Shape, AdaptiveBeatsMisprofiledOnlineOverall) {
         test.rc.graph, 400, 777 + static_cast<std::uint64_t>(index));
     const auto profile = bench::BiasedProfile(
         test.rc.graph, analysis, test.rc.platform, /*lowest=*/true);
-    const auto cmp = bench::CompareAdaptive(
-        test.rc.graph, analysis, test.rc.platform, profile, vectors);
+    bench::ExperimentSpec spec(test.rc.graph, analysis, test.rc.platform);
+    spec.WithProfile(profile).WithWindow(20).WithScheduleCache();
+    const auto cmp = bench::CompareAdaptive(spec, vectors);
     online_total += cmp.online_energy;
     t05_total += cmp.adaptive_energy_t05;
     t01_total += cmp.adaptive_energy_t01;
@@ -92,8 +93,10 @@ TEST(Table5Shape, HighBiasSavingsSmallerThanLowBias) {
     for (bool lowest : {true, false}) {
       const auto profile = bench::BiasedProfile(
           test.rc.graph, analysis, test.rc.platform, lowest);
-      const auto cmp = bench::CompareAdaptive(
-          test.rc.graph, analysis, test.rc.platform, profile, vectors);
+      bench::ExperimentSpec spec(test.rc.graph, analysis,
+                                 test.rc.platform);
+      spec.WithProfile(profile).WithWindow(20).WithScheduleCache();
+      const auto cmp = bench::CompareAdaptive(spec, vectors);
       if (lowest) {
         low_online += cmp.online_energy;
         low_adaptive += cmp.adaptive_energy_t01;
@@ -164,7 +167,7 @@ TEST(MpegPipeline, FullProtocolRunsCleanly) {
       full.Slice(0, 300).ProfiledProbabilities(model.graph);
 
   adaptive::AdaptiveOptions options;
-  options.window = 20;
+  options.window_length = 20;
   options.threshold = 0.1;
   adaptive::AdaptiveController controller(model.graph, analysis,
                                           model.platform, profile,
@@ -186,7 +189,7 @@ TEST(CruisePipeline, AdaptiveNeverMissesDeadlines) {
     const auto vectors =
         apps::GenerateRoadTrace(model, sequence, 300, 100 + sequence);
     adaptive::AdaptiveOptions options;
-    options.window = 20;
+    options.window_length = 20;
     options.threshold = 0.1;
     adaptive::AdaptiveController controller(model.graph, analysis,
                                             model.platform, profile,
@@ -206,8 +209,9 @@ TEST(Determinism, WholeExperimentReproducesExactly) {
         bench::MakeFluctuatingVectors(test.rc.graph, 300, 780);
     const auto profile = bench::BiasedProfile(test.rc.graph, analysis,
                                               test.rc.platform, true);
-    return bench::CompareAdaptive(test.rc.graph, analysis,
-                                  test.rc.platform, profile, vectors);
+    bench::ExperimentSpec spec(test.rc.graph, analysis, test.rc.platform);
+    spec.WithProfile(profile).WithWindow(20).WithScheduleCache();
+    return bench::CompareAdaptive(spec, vectors);
   };
   const auto a = run_once();
   const auto b = run_once();

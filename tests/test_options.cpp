@@ -1,0 +1,122 @@
+/// \file test_options.cpp
+/// Validate() contracts of the options structs (DlsOptions,
+/// StretchOptions, NlpOptions, AdaptiveOptions) and the adaptive
+/// controller's up-front rejection of invalid options: construction
+/// must throw before any scheduling work happens.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/controller.h"
+#include "apps/common.h"
+#include "ctg/activation.h"
+#include "dvfs/stretch.h"
+#include "sched/dls.h"
+#include "tgff/random_ctg.h"
+#include "util/error.h"
+
+namespace actg {
+namespace {
+
+TEST(DlsOptionsValidate, DefaultsOkFixedMappingChecked) {
+  sched::DlsOptions options;
+  EXPECT_FALSE(options.Validate());  // false == ok
+
+  std::vector<PeId> empty;
+  options.fixed_mapping = &empty;
+  EXPECT_TRUE(options.Validate());
+
+  std::vector<PeId> mapping{PeId{0}, PeId{1}};
+  options.fixed_mapping = &mapping;
+  EXPECT_FALSE(options.Validate());
+}
+
+TEST(StretchOptionsValidate, MaxPathsMustBePositive) {
+  dvfs::StretchOptions options;
+  EXPECT_FALSE(options.Validate());
+  options.max_paths = 0;
+  const util::Error err = options.Validate();
+  EXPECT_TRUE(err);
+  EXPECT_FALSE(err.message().empty());
+}
+
+TEST(NlpOptionsValidate, ChecksNestedAndOwnKnobs) {
+  dvfs::NlpOptions options;
+  EXPECT_FALSE(options.Validate());
+
+  options.stretch.max_paths = 0;  // nested failure propagates
+  EXPECT_TRUE(options.Validate());
+  options.stretch.max_paths = 1 << 20;
+
+  options.iterations = 0;
+  EXPECT_TRUE(options.Validate());
+  options.iterations = 4000;
+
+  options.initial_step = 0.0;
+  EXPECT_TRUE(options.Validate());
+  options.initial_step = 1.5;
+  EXPECT_TRUE(options.Validate());
+  options.initial_step = 1.0;
+  EXPECT_FALSE(options.Validate());
+
+  options.projection_sweeps = -1;
+  EXPECT_TRUE(options.Validate());
+}
+
+TEST(AdaptiveOptionsValidate, ChecksWindowThresholdAndNested) {
+  adaptive::AdaptiveOptions options;
+  EXPECT_FALSE(options.Validate());
+
+  options.window_length = 0;
+  EXPECT_TRUE(options.Validate());
+  options.window_length = 20;
+
+  for (double bad : {0.0, -0.5, 1.5}) {
+    options.threshold = bad;
+    EXPECT_TRUE(options.Validate()) << "threshold " << bad;
+  }
+  options.threshold = 1.0;  // closed upper bound is allowed
+  EXPECT_FALSE(options.Validate());
+
+  options.stretch.max_paths = 0;  // nested stretch failure propagates
+  EXPECT_TRUE(options.Validate());
+}
+
+TEST(AdaptiveController, RejectsInvalidOptionsUpFront) {
+  tgff::RandomCtgParams params;
+  params.task_count = 12;
+  params.pe_count = 2;
+  params.fork_count = 1;
+  params.seed = 5;
+  tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  apps::AssignDeadline(rc.graph, rc.platform, 1.3);
+  const ctg::ActivationAnalysis analysis(rc.graph);
+  const auto probs = apps::UniformProbabilities(rc.graph);
+
+  adaptive::AdaptiveOptions bad;
+  bad.window_length = 0;
+  EXPECT_THROW(adaptive::AdaptiveController(rc.graph, analysis,
+                                            rc.platform, probs, bad),
+               actg::InvalidArgument);
+
+  bad = {};
+  bad.threshold = 2.0;
+  EXPECT_THROW(adaptive::AdaptiveController(rc.graph, analysis,
+                                            rc.platform, probs, bad),
+               actg::InvalidArgument);
+
+  // ThrowIfError surfaces the message of the failed validation.
+  bad = {};
+  bad.stretch.max_paths = 0;
+  try {
+    adaptive::AdaptiveController controller(rc.graph, analysis,
+                                            rc.platform, probs, bad);
+    FAIL() << "construction should have thrown";
+  } catch (const actg::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("max_paths"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace actg

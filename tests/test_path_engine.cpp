@@ -1,0 +1,205 @@
+/// \file test_path_engine.cpp
+/// Equivalence tests of the reusable dvfs::PathEngine against the
+/// from-scratch PathSet enumeration, over generated Category-1 and
+/// Category-2 CTGs: same paths in the same order, same delays and
+/// probabilities, same guard predicates — in bitset mode and in the
+/// force_dnf fallback mode — and identical results whether an engine is
+/// fresh or reused across enumerations and stretch calls.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/common.h"
+#include "ctg/activation.h"
+#include "dvfs/path_engine.h"
+#include "dvfs/paths.h"
+#include "dvfs/stretch.h"
+#include "sched/dls.h"
+#include "tgff/random_ctg.h"
+
+namespace actg {
+namespace {
+
+struct Case {
+  tgff::RandomCase rc;
+  ctg::ActivationAnalysis analysis;
+  ctg::BranchProbabilities probs;
+
+  Case(tgff::Category category, std::uint64_t seed)
+      : rc([&] {
+          tgff::RandomCtgParams params;
+          params.task_count = 18;
+          params.pe_count = 3;
+          params.fork_count = 2;
+          params.category = category;
+          params.seed = seed;
+          auto generated = tgff::GenerateRandomCtg(params);
+          apps::AssignDeadline(generated.graph, generated.platform, 1.3);
+          return generated;
+        }()),
+        analysis(rc.graph),
+        probs(apps::UniformProbabilities(rc.graph)) {}
+};
+
+/// Runs \p fn on each generated case. Cases are constructed in place
+/// (never moved): the analysis and schedules reference the graph by
+/// address.
+template <typename Fn>
+void ForEachCase(Fn&& fn) {
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    for (tgff::Category category :
+         {tgff::Category::kForkJoin, tgff::Category::kFlat}) {
+      const Case c(category, seed);
+      fn(c);
+    }
+  }
+}
+
+/// Asserts that an engine's enumeration matches a PathSet of the same
+/// schedule element for element.
+void ExpectMatchesPathSet(const dvfs::PathEngine& engine,
+                          const dvfs::PathSet& expected,
+                          const Case& c) {
+  ASSERT_EQ(engine.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const dvfs::Path& path = expected.path(i);
+    const auto tasks = engine.TasksOf(i);
+    ASSERT_EQ(tasks.size(), path.tasks.size()) << "path " << i;
+    for (std::size_t k = 0; k < tasks.size(); ++k) {
+      EXPECT_EQ(tasks[k], path.tasks[k]) << "path " << i;
+    }
+    const auto edges = engine.EdgesOf(i);
+    ASSERT_EQ(edges.size(), path.edges.size());
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      EXPECT_EQ(edges[k], path.edges[k]);
+    }
+    EXPECT_EQ(engine.comm_ms(i), path.comm_ms);
+    EXPECT_EQ(engine.delay_ms(i), path.delay_ms);
+    EXPECT_EQ(engine.unlocked_ms(i), path.unlocked_ms);
+
+    // Guard predicates agree for every scenario minterm and for every
+    // Γ(τ) minterm of the tasks on the path.
+    for (const ctg::Minterm& scenario :
+         c.analysis.EnumerateScenarioAssignments()) {
+      EXPECT_EQ(engine.GuardCompatibleWith(i, scenario),
+                path.guard.CompatibleWith(scenario));
+    }
+    for (TaskId task : path.tasks) {
+      for (const ctg::Minterm& m : c.analysis.Gamma(task)) {
+        EXPECT_EQ(engine.GuardCompatibleWith(i, m),
+                  path.guard.CompatibleWith(m));
+      }
+      EXPECT_EQ(engine.ProbAfter(i, task, c.probs),
+                expected.ProbAfter(i, task, c.probs));
+    }
+  }
+  EXPECT_EQ(engine.MaxDelay(), expected.MaxDelay());
+  for (TaskId task : c.rc.graph.TaskIds()) {
+    EXPECT_EQ(engine.Spanning(task), expected.Spanning(task));
+  }
+}
+
+TEST(PathEngine, MatchesPathSetOnGeneratedCtgs) {
+  ForEachCase([&](const Case& c) {
+    const sched::Schedule schedule =
+        sched::RunDls(c.rc.graph, c.analysis, c.rc.platform, c.probs);
+    for (bool drop_unrealizable : {true, false}) {
+      const dvfs::PathSet expected(schedule, 1 << 20, drop_unrealizable);
+      for (bool force_dnf : {false, true}) {
+        dvfs::PathEngine engine(
+            c.rc.graph, c.analysis, c.rc.platform,
+            dvfs::PathEngineOptions{.force_dnf = force_dnf});
+        EXPECT_EQ(engine.using_bitset(), !force_dnf);
+        engine.Enumerate(schedule, drop_unrealizable);
+        ExpectMatchesPathSet(engine, expected, c);
+      }
+    }
+  });
+}
+
+TEST(PathEngine, ReuseAcrossEnumerationsMatchesFreshEngine) {
+  ForEachCase([&](const Case& c) {
+    sched::Schedule stretched =
+        sched::RunDls(c.rc.graph, c.analysis, c.rc.platform, c.probs);
+    dvfs::StretchOnline(stretched, c.probs);
+    const sched::Schedule nominal =
+        sched::RunDls(c.rc.graph, c.analysis, c.rc.platform, c.probs);
+
+    // One engine enumerates nominal, then stretched, then nominal
+    // again; each enumeration must equal a fresh PathSet of the same
+    // schedule (reuse leaves no residue in the pooled storage).
+    dvfs::PathEngine engine(c.rc.graph, c.analysis, c.rc.platform);
+    engine.Enumerate(nominal);
+    ExpectMatchesPathSet(engine, dvfs::PathSet(nominal), c);
+    engine.Enumerate(stretched);
+    ExpectMatchesPathSet(engine, dvfs::PathSet(stretched), c);
+    engine.Enumerate(nominal);
+    ExpectMatchesPathSet(engine, dvfs::PathSet(nominal), c);
+  });
+}
+
+TEST(PathEngine, CommitTaskMatchesPathSet) {
+  ForEachCase([&](const Case& c) {
+    const sched::Schedule schedule =
+        sched::RunDls(c.rc.graph, c.analysis, c.rc.platform, c.probs);
+    dvfs::PathSet expected(schedule);
+    dvfs::PathEngine engine(c.rc.graph, c.analysis, c.rc.platform);
+    engine.Enumerate(schedule);
+
+    // Commit every task once, in schedule order, with a synthetic
+    // extension; the running delays must track exactly.
+    for (TaskId task : c.rc.graph.TaskIds()) {
+      const double nominal = schedule.placement(task).finish_ms -
+                             schedule.placement(task).start_ms;
+      expected.CommitTask(task, 0.25, nominal);
+      engine.CommitTask(task, 0.25, nominal);
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(engine.delay_ms(i), expected.path(i).delay_ms);
+      EXPECT_EQ(engine.unlocked_ms(i), expected.path(i).unlocked_ms);
+    }
+    EXPECT_EQ(engine.MaxDelay(), expected.MaxDelay());
+  });
+}
+
+TEST(PathEngine, StretchResultsBitIdenticalAcrossModes) {
+  // The three configurations the stretchers support — transient
+  // engine (no engine argument), persistent bitset engine, persistent
+  // force_dnf engine — must produce bit-identical schedules.
+  ForEachCase([&](const Case& c) {
+    auto stretch = [&](dvfs::PathEngine* engine) {
+      sched::Schedule s =
+          sched::RunDls(c.rc.graph, c.analysis, c.rc.platform, c.probs);
+      const dvfs::StretchStats stats =
+          dvfs::StretchOnline(s, c.probs, {}, engine);
+      EXPECT_GT(stats.path_count, 0u);
+      return s;
+    };
+
+    const sched::Schedule baseline = stretch(nullptr);
+    dvfs::PathEngine bit_engine(c.rc.graph, c.analysis, c.rc.platform);
+    dvfs::PathEngine dnf_engine(
+        c.rc.graph, c.analysis, c.rc.platform,
+        dvfs::PathEngineOptions{.force_dnf = true});
+    // Two rounds through each persistent engine: the second round runs
+    // on warmed pools and must not drift.
+    for (int round = 0; round < 2; ++round) {
+      for (dvfs::PathEngine* engine : {&bit_engine, &dnf_engine}) {
+        const sched::Schedule candidate = stretch(engine);
+        for (TaskId task : c.rc.graph.TaskIds()) {
+          const auto& a = baseline.placement(task);
+          const auto& b = candidate.placement(task);
+          EXPECT_EQ(a.speed_ratio, b.speed_ratio);
+          EXPECT_EQ(a.start_ms, b.start_ms);
+          EXPECT_EQ(a.finish_ms, b.finish_ms);
+          EXPECT_EQ(a.pe, b.pe);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace actg

@@ -146,9 +146,11 @@ TEST(Determinism, Table4StyleSweepIdenticalAcrossWorkerCounts) {
           test.rc.graph, 60, 777 + static_cast<std::uint64_t>(i) + 1);
       const ctg::BranchProbabilities profile = bench::BiasedProfile(
           test.rc.graph, analysis, test.rc.platform, /*lowest=*/true);
-      return bench::CompareAdaptive(test.rc.graph, analysis,
-                                    test.rc.platform, profile, vectors,
-                                    &pool);
+      bench::ExperimentSpec spec(test.rc.graph, analysis,
+                                 test.rc.platform);
+      spec.WithProfile(profile).WithWindow(20).WithScheduleCache()
+          .WithPool(&pool);
+      return bench::CompareAdaptive(spec, vectors);
     });
   };
 
@@ -336,7 +338,7 @@ TEST_F(ScheduleCacheFixture, AdaptiveRunUnchangedByCacheWithHits) {
   // produces real cache hits.
   auto run = [&](ScheduleCache* cache) {
     adaptive::AdaptiveOptions options;
-    options.window = 4;
+    options.window_length = 4;
     options.threshold = 0.1;
     options.schedule_cache = cache;
     adaptive::AdaptiveController controller(ex_.graph, analysis_,

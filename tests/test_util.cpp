@@ -40,10 +40,28 @@ TEST(Error, MessagesCarryLocationAndExpression) {
 }
 
 TEST(Error, HierarchyRootsAtActgError) {
+  // actg:: qualification: inside namespace actg::util the unqualified
+  // name resolves to the value-semantic util::Error status type.
   EXPECT_THROW(
-      { throw InvalidArgument("x"); }, Error);
+      { throw InvalidArgument("x"); }, actg::Error);
   EXPECT_THROW(
-      { throw InternalError("x"); }, Error);
+      { throw InternalError("x"); }, actg::Error);
+}
+
+TEST(ErrorStatus, DefaultIsOk) {
+  const Error ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_FALSE(static_cast<bool>(ok));
+  EXPECT_TRUE(ok.message().empty());
+  EXPECT_NO_THROW(ok.ThrowIfError());
+}
+
+TEST(ErrorStatus, InvalidCarriesMessageAndThrows) {
+  const Error err = Error::Invalid("bad knob");
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(static_cast<bool>(err));
+  EXPECT_EQ(err.message(), "bad knob");
+  EXPECT_THROW(err.ThrowIfError(), InvalidArgument);
 }
 
 // ---------------------------------------------------------------------------
