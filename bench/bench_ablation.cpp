@@ -10,11 +10,13 @@
 /// Averages over the ten Table-4/5 CTGs.
 
 #include <iostream>
+#include <string_view>
 #include <vector>
 
 #include "ctg/activation.h"
-#include "dvfs/stretch.h"
+#include "dvfs/policy.h"
 #include "experiments.h"
+#include "obs/setup.h"
 #include "runtime/pool.h"
 #include "sched/dls.h"
 #include "sim/energy.h"
@@ -43,14 +45,10 @@ double PipelineEnergy(const bench::TestCase& test,
                       const ctg::ActivationAnalysis& analysis,
                       const ctg::BranchProbabilities& probs,
                       const sched::DlsOptions& dls_options,
-                      bool probability_aware_stretch) {
+                      std::string_view stretch_policy) {
   sched::Schedule s = sched::RunDls(test.rc.graph, analysis,
                                     test.rc.platform, probs, dls_options);
-  if (probability_aware_stretch) {
-    dvfs::StretchOnline(s, probs);
-  } else {
-    dvfs::StretchProportional(s);
-  }
+  dvfs::ApplyPolicy(stretch_policy, s, probs);
   return sim::ExpectedEnergy(s, probs);
 }
 
@@ -107,6 +105,7 @@ SweepTotals AdaptiveSweep(runtime::Pool& pool,
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::ScopedTracing tracing(argc, argv);
   runtime::Pool pool(runtime::ParseJobs(argc, argv));
 
   std::vector<bench::TestCase> cases = bench::MakeTable45Cases();
@@ -134,17 +133,18 @@ int main(int argc, char** argv) {
 
         StructuralRow row;
         sched::DlsOptions base;
-        row.full = PipelineEnergy(test, analysis, probs, base, true);
+        row.full = PipelineEnergy(test, analysis, probs, base, "online");
 
         sched::DlsOptions worst_sl = base;
         worst_sl.level_policy = sched::LevelPolicy::kWorstCase;
-        row.a = PipelineEnergy(test, analysis, probs, worst_sl, true);
+        row.a = PipelineEnergy(test, analysis, probs, worst_sl, "online");
 
         sched::DlsOptions blind = base;
         blind.mutex_aware = false;
-        row.b = PipelineEnergy(test, analysis, probs, blind, true);
+        row.b = PipelineEnergy(test, analysis, probs, blind, "online");
 
-        row.c = PipelineEnergy(test, analysis, probs, base, false);
+        row.c =
+            PipelineEnergy(test, analysis, probs, base, "proportional");
         return row;
       });
 
@@ -273,7 +273,7 @@ int main(int argc, char** argv) {
           const arch::Platform platform = std::move(builder).Build();
           sched::Schedule s = sched::RunDls(test.rc.graph, analysis,
                                             platform, probs);
-          dvfs::StretchOnline(s, probs);
+          dvfs::ApplyPolicy("online", s, probs);
           row.energies[mode] = sim::ExpectedEnergy(s, probs);
         }
         return row;

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/setup.h"
 #include "apps/mpeg.h"
 #include "ctg/activation.h"
 #include "profiling/window.h"
@@ -21,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace actg;
 
+  obs::ScopedTracing tracing(argc, argv);
   // Accepts --jobs for uniformity with the other bench targets, but the
   // sliding-window filter below is a stateful sequential recurrence
   // (filtered[i] depends on filtered[i-1]) and cannot be parallelized.

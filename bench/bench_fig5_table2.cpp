@@ -14,6 +14,7 @@
 #include "apps/mpeg.h"
 #include "ctg/activation.h"
 #include "experiments.h"
+#include "obs/setup.h"
 #include "runtime/pool.h"
 #include "sim/executor.h"
 #include "sim/report.h"
@@ -22,6 +23,7 @@
 int main(int argc, char** argv) {
   using namespace actg;
 
+  obs::ScopedTracing tracing(argc, argv);
   runtime::Pool pool(runtime::ParseJobs(argc, argv));
 
   const apps::MpegModel model = apps::MakeMpegModel();

@@ -15,8 +15,9 @@
 #include "ctg/activation.h"
 #include "dvfs/path_engine.h"
 #include "dvfs/paths.h"
-#include "dvfs/stretch.h"
+#include "dvfs/policy.h"
 #include "experiments.h"
+#include "obs/setup.h"
 #include "profiling/window.h"
 #include "runtime/metrics.h"
 #include "sched/dls.h"
@@ -41,7 +42,7 @@ struct Workbench {
           params.fork_count = forks;
           params.pe_count = pes;
           params.seed = 4242;
-          auto generated = tgff::GenerateRandomCtg(params);
+          auto generated = tgff::MakeRandomCtg(params).value();
           apps::AssignDeadline(generated.graph, generated.platform, 1.3);
           return generated;
         }()),
@@ -85,7 +86,7 @@ void BM_StretchOnline(benchmark::State& state) {
   for (auto _ : state) {
     sched::Schedule s = sched::RunDls(wb.rc.graph, wb.analysis,
                                       wb.rc.platform, wb.probs);
-    const auto stats = dvfs::StretchOnline(s, wb.probs);
+    const auto stats = dvfs::ApplyPolicy("online", s, wb.probs);
     benchmark::DoNotOptimize(stats.total_extension_ms);
   }
 }
@@ -96,7 +97,7 @@ void BM_StretchNlp(benchmark::State& state) {
   for (auto _ : state) {
     sched::Schedule s = sched::RunDls(wb.rc.graph, wb.analysis,
                                       wb.rc.platform, wb.probs);
-    const auto stats = dvfs::StretchNlp(s, wb.probs);
+    const auto stats = dvfs::ApplyPolicy("nlp", s, wb.probs);
     benchmark::DoNotOptimize(stats.total_extension_ms);
   }
 }
@@ -106,7 +107,7 @@ void BM_ExpectedEnergy(benchmark::State& state) {
   Workbench wb;
   sched::Schedule s =
       sched::RunDls(wb.rc.graph, wb.analysis, wb.rc.platform, wb.probs);
-  dvfs::StretchOnline(s, wb.probs);
+  dvfs::ApplyPolicy("online", s, wb.probs);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim::ExpectedEnergy(s, wb.probs));
   }
@@ -117,7 +118,7 @@ void BM_ExecuteInstance(benchmark::State& state) {
   Workbench wb;
   sched::Schedule s =
       sched::RunDls(wb.rc.graph, wb.analysis, wb.rc.platform, wb.probs);
-  dvfs::StretchOnline(s, wb.probs);
+  dvfs::ApplyPolicy("online", s, wb.probs);
   ctg::BranchAssignment assignment(wb.rc.graph.task_count());
   for (TaskId fork : wb.rc.graph.ForkIds()) assignment.Set(fork, 0);
   for (auto _ : state) {
@@ -161,7 +162,8 @@ void BM_RescheduleEngine(benchmark::State& state) {
     sched::Schedule s =
         sched::RunDls(test.rc.graph, analysis, test.rc.platform, probs,
                       {}, &engine.dls_workspace());
-    const auto stats = dvfs::StretchOnline(s, probs, {}, &engine);
+    const auto stats =
+        dvfs::ApplyPolicy("online", s, probs, {}, &engine);
     benchmark::DoNotOptimize(stats.total_extension_ms);
   }
 }
@@ -181,7 +183,8 @@ void BM_RescheduleDnf(benchmark::State& state) {
         sched::RunDls(test.rc.graph, analysis, test.rc.platform, probs);
     dvfs::PathEngine engine(test.rc.graph, analysis, test.rc.platform,
                             dvfs::PathEngineOptions{.force_dnf = true});
-    const auto stats = dvfs::StretchOnline(s, probs, {}, &engine);
+    const auto stats =
+        dvfs::ApplyPolicy("online", s, probs, {}, &engine);
     benchmark::DoNotOptimize(stats.total_extension_ms);
   }
 }
@@ -195,7 +198,7 @@ void BM_MpegFullPipeline(benchmark::State& state) {
   for (auto _ : state) {
     sched::Schedule s =
         sched::RunDls(model.graph, analysis, model.platform, probs);
-    dvfs::StretchOnline(s, probs);
+    dvfs::ApplyPolicy("online", s, probs);
     benchmark::DoNotOptimize(s.Makespan());
   }
 }
@@ -241,6 +244,9 @@ BENCHMARK(BM_SlidingWindowObserve);
 // whole run (guard.dnf_fallbacks, cache hits, stage.* wall clocks) are
 // written there as CSV. CI uploads it as the perf artifact.
 int main(int argc, char** argv) {
+  // --trace is ours, not google-benchmark's: strip it (and install the
+  // session) before Initialize sees argv.
+  actg::obs::ScopedTracing tracing(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,7 @@
 #include "ctg/activation.h"
 #include "dvfs/algorithms.h"
 #include "experiments.h"
+#include "obs/setup.h"
 #include "runtime/pool.h"
 #include "sim/energy.h"
 #include "sim/report.h"
@@ -31,6 +32,7 @@ double Ms(Clock::time_point begin, Clock::time_point end) {
 int main(int argc, char** argv) {
   using namespace actg;
 
+  obs::ScopedTracing tracing(argc, argv);
   runtime::Pool pool(runtime::ParseJobs(argc, argv));
 
   util::PrintBanner(std::cout,

@@ -12,6 +12,7 @@
 #include "apps/cruise.h"
 #include "ctg/activation.h"
 #include "experiments.h"
+#include "obs/setup.h"
 #include "runtime/pool.h"
 #include "sim/executor.h"
 #include "sim/report.h"
@@ -20,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace actg;
 
+  obs::ScopedTracing tracing(argc, argv);
   runtime::Pool pool(runtime::ParseJobs(argc, argv));
 
   const apps::CruiseModel model = apps::MakeCruiseModel();

@@ -9,6 +9,7 @@
 
 #include "ctg/activation.h"
 #include "experiments.h"
+#include "obs/setup.h"
 #include "runtime/pool.h"
 #include "sim/report.h"
 #include "util/table.h"
@@ -16,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace actg;
 
+  obs::ScopedTracing tracing(argc, argv);
   runtime::Pool pool(runtime::ParseJobs(argc, argv));
 
   util::PrintBanner(std::cout,

@@ -4,7 +4,7 @@
 #include <memory>
 
 #include "apps/common.h"
-#include "dvfs/stretch.h"
+#include "dvfs/policy.h"
 #include "sched/dls.h"
 #include "sim/energy.h"
 #include "sim/executor.h"
@@ -31,7 +31,7 @@ TestCase MakeCase(int tasks, int pes, int forks, tgff::Category category,
   params.seed = seed;
   TestCase test{std::to_string(tasks) + "/" + std::to_string(pes) + "/" +
                     std::to_string(forks),
-                tgff::GenerateRandomCtg(params)};
+                tgff::MakeRandomCtg(params).value()};
   apps::AssignDeadline(test.rc.graph, test.rc.platform, kDeadlineFactor);
   return test;
 }
@@ -128,7 +128,7 @@ sched::Schedule ExperimentSpec::BuildOnlineSchedule() const {
   ACTG_CHECK(profile_ != nullptr, "ExperimentSpec: profile not set");
   sched::Schedule schedule =
       sched::RunDls(*graph_, *analysis_, *platform_, *profile_);
-  dvfs::StretchOnline(schedule, *profile_);
+  dvfs::ApplyPolicy(policy_, schedule, *profile_);
   return schedule;
 }
 
@@ -142,6 +142,8 @@ AdaptiveHarness ExperimentSpec::BuildAdaptive() const {
   adaptive::AdaptiveOptions options;
   options.window_length = window_length_;
   options.threshold = threshold_;
+  options.policy = policy_;
+  options.trace = trace_;
   options.schedule_cache = harness.cache_.get();
   harness.controller_ = std::make_unique<adaptive::AdaptiveController>(
       *graph_, *analysis_, *platform_, *profile_, options);

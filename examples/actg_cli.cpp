@@ -5,14 +5,21 @@
 ///   actg_cli generate <tasks> <pes> <forks> <category 1|2> <seed> <prefix>
 ///       Generate a random CTG + platform and write <prefix>_ctg.txt /
 ///       <prefix>_platform.txt.
-///   actg_cli schedule <ctg.txt> <platform.txt> [online|ref1|ref2]
+///   actg_cli schedule <ctg.txt> <platform.txt> [ref1|ref2|--policy <p>]
 ///       Schedule + stretch (default: the online algorithm) and print
 ///       the Gantt chart and expected energy under uniform
-///       probabilities.
+///       probabilities. --policy selects any registered stretch policy
+///       by name (see dvfs::PolicyNames); ref1/ref2 run the paper's
+///       reference pipelines.
 ///   actg_cli simulate <ctg.txt> <platform.txt> <instances> <seed>
 ///       Drive the graph with equal-average fluctuating vectors and
 ///       compare the non-adaptive online algorithm against the adaptive
 ///       controller at thresholds 0.5 and 0.1.
+///
+/// Every command also understands --trace <file> (or the ACTG_TRACE
+/// environment variable): the run's instrumented stages are written as
+/// Chrome trace_event JSON to <file> plus a per-iteration timeline CSV
+/// next to it.
 
 #include <cstdlib>
 #include <fstream>
@@ -22,8 +29,10 @@
 #include "apps/common.h"
 #include "ctg/activation.h"
 #include "dvfs/algorithms.h"
+#include "dvfs/policy.h"
 #include "experiments.h"
 #include "io/text_format.h"
+#include "obs/setup.h"
 #include "sched/gantt.h"
 #include "sim/energy.h"
 #include "sim/executor.h"
@@ -37,27 +46,35 @@ namespace {
 using namespace actg;
 
 int Usage() {
+  std::string policies;
+  for (const std::string& name : dvfs::PolicyNames()) {
+    if (!policies.empty()) policies += "|";
+    policies += name;
+  }
   std::cerr
       << "usage:\n"
       << "  actg_cli generate <tasks> <pes> <forks> <category 1|2> "
          "<seed> <prefix>\n"
       << "  actg_cli schedule <ctg.txt> <platform.txt> "
-         "[online|ref1|ref2]\n"
+         "[ref1|ref2|--policy <" +
+             policies + ">]\n"
       << "  actg_cli simulate <ctg.txt> <platform.txt> <instances> "
-         "<seed>\n";
+         "<seed>\n"
+      << "common options: --trace <file> (Chrome trace JSON + timeline "
+         "CSV)\n";
   return 2;
 }
 
 ctg::Ctg LoadCtg(const std::string& path) {
   std::ifstream in(path);
   ACTG_CHECK(in.good(), "cannot open CTG file: " + path);
-  return io::ReadCtg(in);
+  return io::ParseCtg(in).value();
 }
 
 arch::Platform LoadPlatform(const std::string& path) {
   std::ifstream in(path);
   ACTG_CHECK(in.good(), "cannot open platform file: " + path);
-  return io::ReadPlatform(in);
+  return io::ParsePlatform(in).value();
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -71,7 +88,12 @@ int CmdGenerate(int argc, char** argv) {
   params.seed = static_cast<std::uint64_t>(std::atoll(argv[6]));
   const std::string prefix = argv[7];
 
-  tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  util::Expected<tgff::RandomCase> generated = tgff::MakeRandomCtg(params);
+  if (!generated.ok()) {
+    std::cerr << "error: " << generated.error().message() << "\n";
+    return 1;
+  }
+  tgff::RandomCase& rc = generated.value();
   apps::AssignDeadline(rc.graph, rc.platform, 1.3);
   std::ofstream graph_out(prefix + "_ctg.txt");
   io::WriteCtg(graph_out, rc.graph);
@@ -85,10 +107,19 @@ int CmdGenerate(int argc, char** argv) {
 }
 
 int CmdSchedule(int argc, char** argv) {
-  if (argc != 4 && argc != 5) return Usage();
+  // Accept the algorithm either positionally (ref1/ref2, or a registry
+  // policy name for backwards compatibility with the old online|...
+  // spelling) or as --policy <name>.
+  std::string algorithm = "online";
+  if (argc == 6 && std::string(argv[4]) == "--policy") {
+    algorithm = argv[5];
+  } else if (argc == 5) {
+    algorithm = argv[4];
+  } else if (argc != 4) {
+    return Usage();
+  }
   const ctg::Ctg graph = LoadCtg(argv[2]);
   const arch::Platform platform = LoadPlatform(argv[3]);
-  const std::string algorithm = argc == 5 ? argv[4] : "online";
   const ctg::ActivationAnalysis analysis(graph);
   const auto probs = apps::UniformProbabilities(graph);
 
@@ -99,9 +130,11 @@ int CmdSchedule(int argc, char** argv) {
     if (algorithm == "ref2") {
       return dvfs::RunReference2(graph, analysis, platform, probs);
     }
-    ACTG_CHECK(algorithm == "online",
-               "unknown algorithm '" + algorithm + "'");
-    return dvfs::RunOnlineAlgorithm(graph, analysis, platform, probs);
+    // Everything else resolves through the policy registry (GetPolicy
+    // reports the registered names on an unknown one).
+    dvfs::GetPolicy(algorithm);
+    return dvfs::RunWithPolicy(algorithm, graph, analysis, platform,
+                               probs);
   }();
   schedule.Validate();
 
@@ -158,6 +191,7 @@ int CmdSimulate(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  actg::obs::ScopedTracing tracing(argc, argv);
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   try {

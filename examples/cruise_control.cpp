@@ -14,7 +14,7 @@
 #include "apps/common.h"
 #include "apps/cruise.h"
 #include "ctg/activation.h"
-#include "dvfs/stretch.h"
+#include "dvfs/policy.h"
 #include "sched/dls.h"
 #include "sim/energy.h"
 #include "sim/executor.h"
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   const auto uniform = apps::UniformProbabilities(model.graph);
   sched::Schedule nominal =
       sched::RunDls(model.graph, analysis, model.platform, uniform);
-  dvfs::StretchOnline(nominal, uniform);
+  dvfs::ApplyPolicy("online", nominal, uniform);
   std::cout << "Scenario energies (stretched schedule, uniform profile):\n";
   for (const ctg::Minterm& scenario :
        analysis.EnumerateScenarioAssignments()) {
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
         model, sequence, instances, 100 + sequence);
     sched::Schedule online =
         sched::RunDls(model.graph, analysis, model.platform, profile);
-    dvfs::StretchOnline(online, profile);
+    dvfs::ApplyPolicy("online", online, profile);
     const double online_energy =
         sim::RunTrace(online, vectors).total_energy_mj;
 

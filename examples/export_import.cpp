@@ -12,7 +12,7 @@
 
 #include "apps/common.h"
 #include "ctg/activation.h"
-#include "dvfs/stretch.h"
+#include "dvfs/policy.h"
 #include "io/text_format.h"
 #include "sched/dls.h"
 #include "sched/gantt.h"
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   params.fork_count = 2;
   params.pe_count = 2;
   params.seed = 77;
-  tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
   apps::AssignDeadline(rc.graph, rc.platform, 1.5);
 
   const std::string graph_file = prefix + "_ctg.txt";
@@ -45,14 +45,14 @@ int main(int argc, char** argv) {
 
   // Reload and run the full pipeline on the reloaded objects.
   std::ifstream graph_in(graph_file);
-  const ctg::Ctg graph = io::ReadCtg(graph_in);
+  const ctg::Ctg graph = io::ParseCtg(graph_in).value();
   std::ifstream platform_in(platform_file);
-  const arch::Platform platform = io::ReadPlatform(platform_in);
+  const arch::Platform platform = io::ParsePlatform(platform_in).value();
 
   const ctg::ActivationAnalysis analysis(graph);
   const auto probs = apps::UniformProbabilities(graph);
   sched::Schedule schedule = sched::RunDls(graph, analysis, platform, probs);
-  dvfs::StretchOnline(schedule, probs);
+  dvfs::ApplyPolicy("online", schedule, probs);
   schedule.Validate();
 
   std::cout << "Reloaded pipeline: " << graph.task_count() << " tasks, "

@@ -12,7 +12,7 @@
 #include "adaptive/controller.h"
 #include "apps/mpeg.h"
 #include "ctg/activation.h"
-#include "dvfs/stretch.h"
+#include "dvfs/policy.h"
 #include "sched/dls.h"
 #include "sim/executor.h"
 #include "util/table.h"
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   // Non-adaptive decoding of the test half.
   sched::Schedule online =
       sched::RunDls(model.graph, analysis, model.platform, profile);
-  dvfs::StretchOnline(online, profile);
+  dvfs::ApplyPolicy("online", online, profile);
   const sim::RunSummary non_adaptive = sim::RunTrace(online, testing);
 
   // Adaptive decoding with both of the paper's thresholds.

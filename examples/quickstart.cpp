@@ -11,7 +11,7 @@
 #include "apps/fig1_example.h"
 #include "ctg/activation.h"
 #include "ctg/dot.h"
-#include "dvfs/stretch.h"
+#include "dvfs/policy.h"
 #include "sched/dls.h"
 #include "sim/energy.h"
 #include "sim/executor.h"
@@ -57,7 +57,7 @@ int main() {
 
   // 4. DVFS: the paper's online task stretching heuristic.
   const dvfs::StretchStats stats =
-      dvfs::StretchOnline(schedule, example.probs);
+      dvfs::ApplyPolicy("online", schedule, example.probs);
   std::cout << "After stretching (" << stats.path_count
             << " paths analyzed): worst path delay "
             << stats.max_path_delay_ms << " ms vs deadline "

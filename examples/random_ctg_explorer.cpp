@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   params.seed = argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5]))
                          : 1234;
 
-  tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
   const ctg::ActivationAnalysis analysis(rc.graph);
   const auto name = [&](TaskId t) { return rc.graph.TaskName(t); };
 

@@ -22,6 +22,21 @@ std::uint64_t FingerprintConfig(const AdaptiveOptions& options) {
     }
   }
   fp = runtime::HashCombine(fp, options.stretch.max_paths);
+  for (const char c : options.policy) {
+    fp = runtime::HashCombine(fp, static_cast<std::uint64_t>(c));
+  }
+  return fp;
+}
+
+/// Timeline-unit fingerprint: distinguishes controllers traced into the
+/// same session (e.g. the two thresholds of one comparison run).
+std::uint64_t FingerprintUnit(std::uint64_t graph_fp,
+                              std::uint64_t config_fp,
+                              const AdaptiveOptions& options) {
+  std::uint64_t fp = runtime::HashCombine(graph_fp, config_fp);
+  fp = runtime::HashCombine(fp, options.window_length);
+  fp = runtime::HashCombine(
+      fp, static_cast<std::uint64_t>(options.threshold * 1e9));
   return fp;
 }
 
@@ -44,6 +59,10 @@ util::Error AdaptiveOptions::Validate() const {
     return util::Error::Invalid(
         "AdaptiveOptions: threshold must lie in (0, 1]");
   }
+  if (dvfs::FindPolicy(policy) == nullptr) {
+    return util::Error::Invalid(
+        "AdaptiveOptions: unknown stretch policy '" + policy + "'");
+  }
   if (util::Error err = dls.Validate()) return err;
   if (util::Error err = stretch.Validate()) return err;
   return {};
@@ -57,11 +76,14 @@ AdaptiveController::AdaptiveController(
       analysis_(&analysis),
       platform_(&platform),
       options_(Validated(options)),
+      policy_(&dvfs::GetPolicy(options.policy)),
       in_use_(std::move(initial_probs)),
       profiler_(graph, options.window_length),
       graph_fingerprint_(runtime::FingerprintCtg(graph)),
       platform_fingerprint_(runtime::FingerprintPlatform(platform)),
       config_fingerprint_(FingerprintConfig(options)),
+      unit_fingerprint_(FingerprintUnit(graph_fingerprint_,
+                                        config_fingerprint_, options)),
       engine_(std::make_unique<dvfs::PathEngine>(
           graph, analysis, platform,
           dvfs::PathEngineOptions{.max_paths = options.stretch.max_paths})),
@@ -80,26 +102,37 @@ runtime::ScheduleCacheKey AdaptiveController::CacheKey() const {
   return key;
 }
 
+obs::TraceSession* AdaptiveController::TraceTarget() const {
+  return options_.trace != nullptr ? options_.trace
+                                   : obs::TraceSession::Current();
+}
+
 sched::Schedule AdaptiveController::Reschedule() const {
   const runtime::ScopedTimer stage_timer(runtime::Metrics::Global(),
                                          "stage.reschedule");
+  obs::ScopedSpan span(TraceTarget(), "adaptive.reschedule", "adaptive");
   runtime::ScheduleCacheKey key;
   if (options_.schedule_cache != nullptr) {
     key = CacheKey();
     if (std::optional<runtime::ScheduleCacheEntry> cached =
             options_.schedule_cache->Lookup(key)) {
+      if (span.enabled()) span.AddArg(obs::IntArg("cached", 1));
       return std::move(cached->schedule);
     }
   }
+  if (span.enabled()) span.AddArg(obs::IntArg("cached", 0));
   // Both stages run on the controller's reusable workspace: RunDls
-  // borrows the engine's DLS scratch buffers, StretchOnline the path
-  // enumeration pools. Results are identical to workspace-free calls.
+  // borrows the engine's DLS scratch buffers, the stretch policy the
+  // path enumeration pools. Results are identical to workspace-free
+  // calls.
   sched::Schedule schedule =
       sched::RunDls(*graph_, *analysis_, *platform_, in_use_, options_.dls,
                     &engine_->dls_workspace());
-  const dvfs::StretchStats stats =
-      dvfs::StretchOnline(schedule, in_use_, options_.stretch,
-                          engine_.get());
+  dvfs::PolicyContext ctx;
+  ctx.schedule = &schedule;
+  ctx.probs = &in_use_;
+  ctx.stretch = options_.stretch;
+  const dvfs::StretchStats stats = policy_->Apply(*engine_, ctx);
   if (options_.schedule_cache != nullptr) {
     options_.schedule_cache->Insert(
         key, runtime::ScheduleCacheEntry{schedule, stats});
@@ -107,13 +140,54 @@ sched::Schedule AdaptiveController::Reschedule() const {
   return schedule;
 }
 
+void AdaptiveController::RecordTimeline(
+    obs::TraceSession& trace,
+    const ctg::BranchAssignment& assignment) const {
+  // One row per PE: the Gantt occupancy (active tasks, scaled busy
+  // time) merged with the mean DVFS stretch the instance ran with.
+  const std::size_t pes = platform_->pe_count();
+  std::vector<obs::TimelineRow> rows(pes);
+  for (std::size_t p = 0; p < pes; ++p) {
+    rows[p].unit = unit_fingerprint_;
+    rows[p].iteration = instances_processed_;
+    rows[p].pe = static_cast<int>(p);
+    rows[p].reschedules = reschedule_count_;
+  }
+  std::vector<double> speed_sums(pes, 0.0);
+  for (TaskId task : graph_->TaskIds()) {
+    if (!analysis_->IsActive(task, assignment)) continue;
+    const sched::TaskPlacement& placement = schedule_.placement(task);
+    obs::TimelineRow& row = rows[placement.pe.index()];
+    ++row.active_tasks;
+    row.busy_ms += schedule_.ScaledWcet(task);
+    speed_sums[placement.pe.index()] += placement.speed_ratio;
+  }
+  for (std::size_t p = 0; p < pes; ++p) {
+    rows[p].mean_speed_ratio =
+        rows[p].active_tasks > 0 ? speed_sums[p] / rows[p].active_tasks
+                                 : 1.0;
+    trace.AddTimelineRow(rows[p]);
+  }
+}
+
 sim::InstanceResult AdaptiveController::ProcessInstance(
     const ctg::BranchAssignment& assignment) {
+  obs::TraceSession* trace = TraceTarget();
+  obs::ScopedSpan span(trace, "adaptive.instance", "adaptive");
+  if (span.enabled()) {
+    span.AddArg(obs::IntArg(
+        "iteration", static_cast<std::int64_t>(instances_processed_)));
+  }
+
   // Execute with the schedule in effect; decisions become observable
   // only as the instance runs, so adaptation applies from the next
   // instance on.
   const sim::InstanceResult result =
       sim::ExecuteInstance(schedule_, assignment);
+
+  // Timeline rows describe the schedule the instance just executed
+  // with, before any adaptation below replaces it.
+  if (trace != nullptr) RecordTimeline(*trace, assignment);
 
   profiler_.ObserveInstance(*analysis_, assignment);
 
@@ -157,6 +231,13 @@ sim::InstanceResult AdaptiveController::ProcessInstance(
       schedule_ = std::move(candidate);
     }
   }
+  // Sampled every instance so the counter track starts at zero and
+  // plateaus are visible between reschedules.
+  if (trace != nullptr) {
+    trace->Counter("adaptive.reschedule_calls", "adaptive",
+                   static_cast<double>(reschedule_count_));
+  }
+  ++instances_processed_;
   return result;
 }
 

@@ -15,13 +15,16 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "arch/platform.h"
 #include "ctg/activation.h"
 #include "ctg/condition.h"
 #include "dvfs/path_engine.h"
+#include "dvfs/policy.h"
 #include "dvfs/stretch.h"
+#include "obs/trace.h"
 #include "profiling/window.h"
 #include "runtime/schedule_cache.h"
 #include "sched/dls.h"
@@ -43,6 +46,14 @@ struct AdaptiveOptions {
   sched::DlsOptions dls;
   /// Stretcher configuration.
   dvfs::StretchOptions stretch;
+  /// Stretch policy applied after every (re)scheduling pass, resolved
+  /// through the dvfs::Policy registry (paper: the online heuristic).
+  std::string policy = "online";
+  /// Explicit trace session for the controller's spans and timeline
+  /// rows; when null, the process-wide obs::TraceSession::Current() is
+  /// consulted per instance (so bench --trace reaches controllers built
+  /// without explicit wiring).
+  obs::TraceSession* trace = nullptr;
   /// Optional schedule memoization. When set, every online scheduling +
   /// DVFS call first consults the cache (exact probability match), so
   /// revisited operating points become O(1) lookups without changing
@@ -52,9 +63,10 @@ struct AdaptiveOptions {
   runtime::ScheduleCache* schedule_cache = nullptr;
 
   /// Ok when every knob is usable: window_length must be positive,
-  /// threshold must lie in (0, 1], and the nested dls/stretch options
-  /// must validate. The controller rejects invalid options up front
-  /// (constructor throws) instead of failing mid-run.
+  /// threshold must lie in (0, 1], the policy must be registered, and
+  /// the nested dls/stretch options must validate. The controller
+  /// rejects invalid options up front (constructor throws) instead of
+  /// failing mid-run.
   util::Error Validate() const;
 };
 
@@ -96,16 +108,23 @@ class AdaptiveController {
  private:
   sched::Schedule Reschedule() const;
   runtime::ScheduleCacheKey CacheKey() const;
+  /// The session this controller records into (explicit or current).
+  obs::TraceSession* TraceTarget() const;
+  void RecordTimeline(obs::TraceSession& trace,
+                      const ctg::BranchAssignment& assignment) const;
 
   const ctg::Ctg* graph_;
   const ctg::ActivationAnalysis* analysis_;
   const arch::Platform* platform_;
   AdaptiveOptions options_;
+  const dvfs::Policy* policy_;
   ctg::BranchProbabilities in_use_;
   profiling::SlidingWindowProfiler profiler_;
   std::uint64_t graph_fingerprint_ = 0;
   std::uint64_t platform_fingerprint_ = 0;
   std::uint64_t config_fingerprint_ = 0;
+  std::uint64_t unit_fingerprint_ = 0;
+  std::uint64_t instances_processed_ = 0;
   // Reusable reschedule workspace (path enumeration + DLS scratch),
   // constructed once per controller and shared by every Reschedule()
   // call, including the initial one — must precede schedule_, whose

@@ -2,14 +2,45 @@
 
 namespace actg::dvfs {
 
+namespace {
+
+sched::Schedule SchedulePipeline(const Policy& policy,
+                                 const ctg::Ctg& graph,
+                                 const ctg::ActivationAnalysis& analysis,
+                                 const arch::Platform& platform,
+                                 const ctg::BranchProbabilities& probs,
+                                 const PolicyRunOptions& options) {
+  sched::Schedule schedule =
+      sched::RunDls(graph, analysis, platform, probs, options.dls);
+  PathEngine engine(
+      graph, analysis, platform,
+      PathEngineOptions{.max_paths = options.stretch.max_paths});
+  PolicyContext ctx;
+  ctx.schedule = &schedule;
+  ctx.probs = &probs;
+  ctx.stretch = options.stretch;
+  ctx.nlp = options.nlp;
+  policy.Apply(engine, ctx);
+  return schedule;
+}
+
+}  // namespace
+
+sched::Schedule RunWithPolicy(std::string_view policy,
+                              const ctg::Ctg& graph,
+                              const ctg::ActivationAnalysis& analysis,
+                              const arch::Platform& platform,
+                              const ctg::BranchProbabilities& probs,
+                              const PolicyRunOptions& options) {
+  return SchedulePipeline(GetPolicy(policy), graph, analysis, platform,
+                          probs, options);
+}
+
 sched::Schedule RunOnlineAlgorithm(const ctg::Ctg& graph,
                                    const ctg::ActivationAnalysis& analysis,
                                    const arch::Platform& platform,
                                    const ctg::BranchProbabilities& probs) {
-  sched::Schedule schedule =
-      sched::RunDls(graph, analysis, platform, probs);
-  StretchOnline(schedule, probs);
-  return schedule;
+  return RunWithPolicy("online", graph, analysis, platform, probs);
 }
 
 sched::Schedule RunReference1(const ctg::Ctg& graph,
@@ -17,14 +48,12 @@ sched::Schedule RunReference1(const ctg::Ctg& graph,
                               const arch::Platform& platform,
                               const ctg::BranchProbabilities& probs) {
   const std::vector<PeId> mapping = sched::RoundRobinMapping(graph, platform);
-  sched::DlsOptions options;
-  options.level_policy = sched::LevelPolicy::kWorstCase;
-  options.mutex_aware = false;
-  options.fixed_mapping = &mapping;
-  sched::Schedule schedule =
-      sched::RunDls(graph, analysis, platform, probs, options);
-  StretchProportional(schedule);
-  return schedule;
+  PolicyRunOptions options;
+  options.dls.level_policy = sched::LevelPolicy::kWorstCase;
+  options.dls.mutex_aware = false;
+  options.dls.fixed_mapping = &mapping;
+  return RunWithPolicy("proportional", graph, analysis, platform, probs,
+                       options);
 }
 
 sched::Schedule RunReference2(const ctg::Ctg& graph,
@@ -32,10 +61,11 @@ sched::Schedule RunReference2(const ctg::Ctg& graph,
                               const arch::Platform& platform,
                               const ctg::BranchProbabilities& probs,
                               const NlpOptions& options) {
-  sched::Schedule schedule =
-      sched::RunDls(graph, analysis, platform, probs);
-  StretchNlp(schedule, probs, options);
-  return schedule;
+  PolicyRunOptions run_options;
+  run_options.stretch = options.stretch;
+  run_options.nlp = options;
+  return RunWithPolicy("nlp", graph, analysis, platform, probs,
+                       run_options);
 }
 
 }  // namespace actg::dvfs

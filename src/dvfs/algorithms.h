@@ -17,13 +17,36 @@
 #ifndef ACTG_DVFS_ALGORITHMS_H
 #define ACTG_DVFS_ALGORITHMS_H
 
+#include <string_view>
+
 #include "arch/platform.h"
 #include "ctg/activation.h"
 #include "ctg/condition.h"
+#include "dvfs/policy.h"
 #include "dvfs/stretch.h"
 #include "sched/dls.h"
 
 namespace actg::dvfs {
+
+/// Knobs of RunWithPolicy: the scheduler configuration plus the policy
+/// context options forwarded to the selected stretcher.
+struct PolicyRunOptions {
+  sched::DlsOptions dls;
+  StretchOptions stretch;
+  /// Consumed by the "nlp" policy only (its path-analysis knobs are
+  /// overridden by \p stretch).
+  NlpOptions nlp;
+};
+
+/// Generic pipeline: modified DLS followed by the named stretch policy
+/// from the registry (see policy.h). The three Run* wrappers below are
+/// thin aliases over this.
+sched::Schedule RunWithPolicy(std::string_view policy,
+                              const ctg::Ctg& graph,
+                              const ctg::ActivationAnalysis& analysis,
+                              const arch::Platform& platform,
+                              const ctg::BranchProbabilities& probs,
+                              const PolicyRunOptions& options = {});
 
 /// The paper's online algorithm: modified DLS + stretching heuristic.
 sched::Schedule RunOnlineAlgorithm(const ctg::Ctg& graph,

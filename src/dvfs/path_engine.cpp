@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "runtime/metrics.h"
 #include "util/error.h"
 
@@ -58,6 +59,8 @@ void PathEngine::Enumerate(const sched::Schedule& schedule,
   const runtime::ScopedTimer timer(runtime::Metrics::Global(),
                                    "stage.path_enum");
   runtime::Metrics::Global().Increment("engine.enumerations");
+  obs::ScopedSpan span(obs::TraceSession::Current(), "dvfs.enumerate",
+                       "dvfs");
 
   paths_.clear();
   task_pool_.clear();
@@ -89,6 +92,11 @@ void PathEngine::Enumerate(const sched::Schedule& schedule,
     }
   }
   runtime::Metrics::Global().Increment("engine.paths", paths_.size());
+  if (span.enabled()) {
+    span.AddArg(obs::IntArg("paths",
+                            static_cast<std::int64_t>(paths_.size())));
+    span.AddArg(obs::IntArg("bitset", use_bitset_ ? 1 : 0));
+  }
 }
 
 void PathEngine::VisitBit(const sched::Schedule& schedule, TaskId task,

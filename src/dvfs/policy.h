@@ -1,0 +1,90 @@
+/// \file policy.h
+/// The unified stretcher interface.
+///
+/// PR 2 left three parallel free-function entry points (StretchOnline /
+/// StretchProportional / StretchNlp) with slightly different positional
+/// signatures; every consumer that wanted to select a stretcher at
+/// runtime (the ablation bench, the CLI, the experiment builder) had to
+/// branch over them by hand. A Policy packages one stretcher behind
+/// Name() + Apply(PathEngine&, PolicyContext&), and a string-keyed
+/// registry makes the selection data-driven: bench::ExperimentSpec,
+/// actg_cli --policy and the adaptive controller all resolve policies
+/// by name. The legacy free functions remain the implementation (and
+/// stay callable for tests) but are no longer referenced outside
+/// src/dvfs.
+///
+/// Every Apply() records a "dvfs.stretch" span on the current trace
+/// session (obs/trace.h) with the policy name and resulting path count.
+
+#ifndef ACTG_DVFS_POLICY_H
+#define ACTG_DVFS_POLICY_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ctg/condition.h"
+#include "dvfs/path_engine.h"
+#include "dvfs/stretch.h"
+#include "sched/schedule.h"
+
+namespace actg::dvfs {
+
+/// Everything a stretch policy may consume or produce. The schedule is
+/// required; probs is required by the probability-aware policies
+/// ("online", "nlp") and ignored by "proportional". The nested nlp
+/// options apply to the NLP policy only; its path-analysis knobs are
+/// overridden by \p stretch so all policies honor one max_paths.
+struct PolicyContext {
+  sched::Schedule* schedule = nullptr;
+  const ctg::BranchProbabilities* probs = nullptr;
+  StretchOptions stretch;
+  NlpOptions nlp;
+};
+
+/// One named stretcher. Implementations are stateless and immutable, so
+/// a registered Policy may be applied concurrently from pool workers.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Registry key, e.g. "online".
+  virtual std::string_view Name() const = 0;
+
+  /// Stretches ctx.schedule in place on \p engine, recording the
+  /// "dvfs.stretch" trace span around the concrete stretcher.
+  StretchStats Apply(PathEngine& engine, PolicyContext& ctx) const;
+
+ protected:
+  virtual StretchStats DoApply(PathEngine& engine,
+                               PolicyContext& ctx) const = 0;
+};
+
+/// Looks up a registered policy; nullptr when unknown.
+const Policy* FindPolicy(std::string_view name);
+
+/// Looks up a registered policy; throws actg::InvalidArgument listing
+/// the registered names when unknown.
+const Policy& GetPolicy(std::string_view name);
+
+/// Names of all registered policies, sorted (built-ins: "nlp",
+/// "online", "proportional").
+std::vector<std::string> PolicyNames();
+
+/// Registers a custom policy; throws actg::InvalidArgument on a
+/// duplicate or empty name. The registry owns the policy for the rest
+/// of the process lifetime.
+void RegisterPolicy(std::unique_ptr<Policy> policy);
+
+/// Convenience entry point: applies the named policy to \p schedule,
+/// building a transient PathEngine when \p engine is null (identical
+/// results either way — the engine only pools storage).
+StretchStats ApplyPolicy(std::string_view name, sched::Schedule& schedule,
+                         const ctg::BranchProbabilities& probs,
+                         const StretchOptions& options = {},
+                         PathEngine* engine = nullptr);
+
+}  // namespace actg::dvfs
+
+#endif  // ACTG_DVFS_POLICY_H

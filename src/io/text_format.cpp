@@ -108,7 +108,12 @@ void WriteCtg(std::ostream& os, const ctg::Ctg& graph) {
   os << "end\n";
 }
 
-ctg::Ctg ReadCtg(std::istream& is) {
+namespace {
+
+/// Parser bodies; they report malformed input by throwing
+/// InvalidArgument, which the Parse* boundaries below convert to the
+/// value-semantic util::Error.
+ctg::Ctg ParseCtgImpl(std::istream& is) {
   LineReader reader(is);
   std::vector<std::string> tokens;
   if (!reader.Next(tokens) || tokens.size() != 2 || tokens[0] != "ctg" ||
@@ -175,6 +180,18 @@ ctg::Ctg ReadCtg(std::istream& is) {
   reader.Fail("missing 'end'");
 }
 
+}  // namespace
+
+util::Expected<ctg::Ctg> ParseCtg(std::istream& is) {
+  try {
+    return ParseCtgImpl(is);
+  } catch (const InvalidArgument& e) {
+    return util::Error::Invalid(e.what());
+  }
+}
+
+ctg::Ctg ReadCtg(std::istream& is) { return ParseCtg(is).value(); }
+
 void WritePlatform(std::ostream& os, const arch::Platform& platform) {
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "platform v1\n";
@@ -211,7 +228,9 @@ void WritePlatform(std::ostream& os, const arch::Platform& platform) {
   os << "end\n";
 }
 
-arch::Platform ReadPlatform(std::istream& is) {
+namespace {
+
+arch::Platform ParsePlatformImpl(std::istream& is) {
   LineReader reader(is);
   std::vector<std::string> tokens;
   if (!reader.Next(tokens) || tokens.size() != 2 ||
@@ -280,6 +299,20 @@ arch::Platform ReadPlatform(std::istream& is) {
     }
   }
   reader.Fail("missing 'end'");
+}
+
+}  // namespace
+
+util::Expected<arch::Platform> ParsePlatform(std::istream& is) {
+  try {
+    return ParsePlatformImpl(is);
+  } catch (const InvalidArgument& e) {
+    return util::Error::Invalid(e.what());
+  }
+}
+
+arch::Platform ReadPlatform(std::istream& is) {
+  return ParsePlatform(is).value();
 }
 
 }  // namespace actg::io

@@ -32,6 +32,7 @@
 
 #include "arch/platform.h"
 #include "ctg/graph.h"
+#include "util/error.h"
 
 namespace actg::io {
 
@@ -39,14 +40,27 @@ namespace actg::io {
 /// contains whitespace.
 void WriteCtg(std::ostream& os, const ctg::Ctg& graph);
 
-/// Parses a CTG; throws actg::InvalidArgument with a line number on any
-/// malformed input, and re-validates the graph through CtgBuilder.
+/// Parses a CTG. Malformed input is reported as a util::Error carrying
+/// the "text_format line N: ..." diagnostic (the Validate() ->
+/// util::Error convention); the graph is re-validated through
+/// CtgBuilder.
+util::Expected<ctg::Ctg> ParseCtg(std::istream& is);
+
+/// \deprecated Exception-throwing alias of ParseCtg (kept for source
+/// compatibility); new code should call ParseCtg and inspect the
+/// result. Throws actg::InvalidArgument on malformed input.
 ctg::Ctg ReadCtg(std::istream& is);
 
 /// Serializes \p platform.
 void WritePlatform(std::ostream& os, const arch::Platform& platform);
 
-/// Parses a platform; throws actg::InvalidArgument on malformed input.
+/// Parses a platform; malformed input is reported as a util::Error
+/// with a "text_format line N: ..." diagnostic.
+util::Expected<arch::Platform> ParsePlatform(std::istream& is);
+
+/// \deprecated Exception-throwing alias of ParsePlatform; new code
+/// should call ParsePlatform and inspect the result. Throws
+/// actg::InvalidArgument on malformed input.
 arch::Platform ReadPlatform(std::istream& is);
 
 }  // namespace actg::io

@@ -1,0 +1,96 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace actg::obs {
+
+namespace {
+
+/// JSON string escaping for names, categories and string arg values.
+std::string Escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteArgs(std::ostream& os, const std::vector<TraceArg>& args) {
+  os << "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << Escaped(args[i].key) << "\":";
+    if (args[i].quoted) {
+      os << '"' << Escaped(args[i].value) << '"';
+    } else {
+      os << args[i].value;
+    }
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& os, const TraceSession& session) {
+  const std::vector<TraceEvent> events = session.Events();
+  os << "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    os << "{\"name\":\"" << Escaped(e.name) << "\",\"cat\":\""
+       << Escaped(e.category) << "\",\"ph\":\""
+       << static_cast<char>(e.phase) << "\",\"ts\":" << e.ts
+       << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.phase == EventPhase::kInstant) os << ",\"s\":\"t\"";
+    if (!e.args.empty()) {
+      os << ',';
+      WriteArgs(os, e.args);
+    }
+    os << '}';
+    if (i + 1 < events.size()) os << ',';
+    os << '\n';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void WriteTimelineCsv(std::ostream& os, const TraceSession& session) {
+  std::vector<TimelineRow> rows = session.Timeline();
+  std::sort(rows.begin(), rows.end(),
+            [](const TimelineRow& a, const TimelineRow& b) {
+              if (a.unit != b.unit) return a.unit < b.unit;
+              if (a.iteration != b.iteration) {
+                return a.iteration < b.iteration;
+              }
+              return a.pe < b.pe;
+            });
+  os << "unit,iteration,pe,active_tasks,busy_ms,mean_speed_ratio,"
+        "reschedules\n";
+  char buffer[64];
+  for (const TimelineRow& row : rows) {
+    os << row.unit << ',' << row.iteration << ',' << row.pe << ','
+       << row.active_tasks << ',';
+    std::snprintf(buffer, sizeof(buffer), "%.4f", row.busy_ms);
+    os << buffer << ',';
+    std::snprintf(buffer, sizeof(buffer), "%.4f", row.mean_speed_ratio);
+    os << buffer << ',' << row.reschedules << '\n';
+  }
+}
+
+}  // namespace actg::obs

@@ -1,0 +1,33 @@
+/// \file export.h
+/// Exporters for recorded trace sessions.
+///
+/// * WriteChromeTrace — Chrome trace_event JSON ("JSON Object Format":
+///   {"traceEvents": [...]}), loadable in chrome://tracing and
+///   https://ui.perfetto.dev. Spans become B/E pairs, counter samples
+///   "C" events, instants "i" events; every event carries pid 1 and the
+///   session's dense thread ids.
+/// * WriteTimelineCsv — the per-iteration timeline rows (adaptive
+///   controller Gantt occupancy merged with per-PE DVFS stretch
+///   factors), sorted by (unit, iteration, pe) so the file is
+///   deterministic for any worker count.
+
+#ifndef ACTG_OBS_EXPORT_H
+#define ACTG_OBS_EXPORT_H
+
+#include <ostream>
+
+#include "obs/trace.h"
+
+namespace actg::obs {
+
+/// Serializes \p session's events as Chrome trace_event JSON, one event
+/// per line (diff-friendly; still valid JSON).
+void WriteChromeTrace(std::ostream& os, const TraceSession& session);
+
+/// Serializes \p session's timeline rows as CSV with header
+/// "unit,iteration,pe,active_tasks,busy_ms,mean_speed_ratio,reschedules".
+void WriteTimelineCsv(std::ostream& os, const TraceSession& session);
+
+}  // namespace actg::obs
+
+#endif  // ACTG_OBS_EXPORT_H

@@ -1,0 +1,212 @@
+/// \file trace.h
+/// Structured tracing for the framework's online decision points.
+///
+/// A TraceSession records nested spans (begin/end pairs with thread id,
+/// category and key/value args), counter samples and per-iteration
+/// timeline rows. Instrumented stages — the modified DLS, PathEngine
+/// enumeration, the stretch policies, the pool workers, the simulator
+/// event loop and the adaptive controller — look up the process-wide
+/// session with TraceSession::Current() and record only when one is
+/// installed, so with no session the entire subsystem compiles down to
+/// one relaxed atomic load and a branch on nullptr per stage (and, with
+/// ACTG_DISABLE_OBS, to nothing at all).
+///
+/// Sessions are exported through obs/export.h as Chrome trace_event
+/// JSON (loadable in chrome://tracing or Perfetto) and as a
+/// per-iteration CSV timeline; obs/setup.h wires --trace <file> /
+/// ACTG_TRACE through the bench targets and the CLI.
+///
+/// Determinism contract: with TraceOptions::deterministic_clock the
+/// timestamps are sequence numbers, so identical workloads produce
+/// byte-identical exports; with the wall clock, the *content* (the
+/// multiset of phase/name/category/args tuples) is still identical for
+/// any --jobs count — only timestamps and thread ids vary.
+
+#ifndef ACTG_OBS_TRACE_H
+#define ACTG_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace actg::obs {
+
+/// One key/value argument of a span or instant event. The value is kept
+/// pre-rendered so the hot path never touches iostreams; \p quoted
+/// tells the JSON exporter whether to emit it as a string.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool quoted = false;
+};
+
+/// Integer-valued argument.
+TraceArg IntArg(std::string key, std::int64_t value);
+/// Floating-point argument (rendered with %.6g).
+TraceArg NumArg(std::string key, double value);
+/// String-valued argument (JSON-escaped by the exporter).
+TraceArg StrArg(std::string key, std::string value);
+
+/// Chrome trace_event phases the session can record.
+enum class EventPhase : char {
+  kBegin = 'B',    ///< span opens
+  kEnd = 'E',      ///< span closes
+  kCounter = 'C',  ///< counter sample
+  kInstant = 'i',  ///< point event
+};
+
+/// One recorded event.
+struct TraceEvent {
+  EventPhase phase = EventPhase::kInstant;
+  std::string name;
+  std::string category;
+  /// Microseconds since the session started, or a global sequence
+  /// number under TraceOptions::deterministic_clock.
+  std::uint64_t ts = 0;
+  /// Dense thread id: threads are numbered 0, 1, ... by order of first
+  /// appearance in the session.
+  int tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// One row of the per-iteration timeline export: the Gantt occupancy of
+/// one PE during one controller iteration, merged with the DVFS stretch
+/// state the iteration executed with.
+struct TimelineRow {
+  /// Fingerprint distinguishing concurrently traced controllers (e.g.
+  /// the T=0.5 and T=0.1 harnesses of one comparison run).
+  std::uint64_t unit = 0;
+  std::uint64_t iteration = 0;  ///< instance index within the unit
+  int pe = 0;
+  int active_tasks = 0;         ///< active tasks mapped to this PE
+  double busy_ms = 0.0;         ///< scaled execution time on this PE
+  double mean_speed_ratio = 0.0;  ///< mean DVFS ratio of those tasks
+  std::uint64_t reschedules = 0;  ///< controller reschedules so far
+};
+
+/// Session configuration.
+struct TraceOptions {
+  /// Replace wall-clock timestamps with sequence numbers so exports are
+  /// byte-identical across runs (golden tests).
+  bool deterministic_clock = false;
+};
+
+/// Thread-safe event recorder. Install one as the process-wide current
+/// session with SessionGuard; instrumentation reaches it through
+/// Current(). Recording locks a mutex — tracing is an opt-in diagnosis
+/// tool, not a steady-state cost — but the *disabled* path (no current
+/// session) is a single load + branch.
+class TraceSession {
+ public:
+  explicit TraceSession(TraceOptions options = {});
+
+  void BeginSpan(const char* name, const char* category,
+                 std::vector<TraceArg> args = {});
+  void EndSpan(const char* name, const char* category,
+               std::vector<TraceArg> args = {});
+  /// Records a counter sample (one "C" event with {name: value}).
+  void Counter(const char* name, const char* category, double value);
+  void Instant(const char* name, const char* category,
+               std::vector<TraceArg> args = {});
+  void AddTimelineRow(const TimelineRow& row);
+
+  /// Snapshot of everything recorded so far.
+  std::vector<TraceEvent> Events() const;
+  std::vector<TimelineRow> Timeline() const;
+
+  const TraceOptions& options() const { return options_; }
+
+  /// The installed process-wide session, or nullptr when tracing is
+  /// off. Inline: this is the only code the instrumented hot paths
+  /// execute when disabled.
+  static TraceSession* Current();
+
+ private:
+  friend class SessionGuard;
+
+  void Record(EventPhase phase, const char* name, const char* category,
+              std::vector<TraceArg> args);
+  /// Timestamp + dense thread id; callers hold mu_.
+  std::uint64_t NowLocked();
+  int TidLocked();
+
+  TraceOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::thread::id, int> tids_;
+  std::vector<TraceEvent> events_;
+  std::vector<TimelineRow> timeline_;
+};
+
+namespace detail {
+extern std::atomic<TraceSession*> g_current_session;
+}  // namespace detail
+
+inline TraceSession* TraceSession::Current() {
+#ifdef ACTG_OBS_DISABLED
+  return nullptr;
+#else
+  return detail::g_current_session.load(std::memory_order_acquire);
+#endif
+}
+
+/// RAII installer of the process-wide current session; restores the
+/// previously installed session (usually nullptr) on destruction.
+/// Under ACTG_DISABLE_OBS installation is a no-op and Current() stays
+/// nullptr, which is what the disabled-path tests assert.
+class SessionGuard {
+ public:
+  explicit SessionGuard(TraceSession* session);
+  ~SessionGuard();
+
+  SessionGuard(const SessionGuard&) = delete;
+  SessionGuard& operator=(const SessionGuard&) = delete;
+
+ private:
+  TraceSession* previous_ = nullptr;
+};
+
+/// RAII span: emits the Begin event on construction when a session is
+/// active, the End event (with any args accumulated via AddArg) on
+/// destruction. Constructed with TraceSession::Current() at every
+/// instrumentation site, so the disabled cost is the null check.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSession* session, const char* name, const char* category)
+      : session_(session), name_(name), category_(category) {
+    if (session_ != nullptr) session_->BeginSpan(name_, category_);
+  }
+
+  ~ScopedSpan() {
+    if (session_ != nullptr) {
+      session_->EndSpan(name_, category_, std::move(end_args_));
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when the span actually records; guard arg construction with
+  /// this so disabled runs never format values.
+  bool enabled() const { return session_ != nullptr; }
+
+  /// Attaches an argument to the End event (Chrome merges B/E args in
+  /// the span view); call only when enabled().
+  void AddArg(TraceArg arg) { end_args_.push_back(std::move(arg)); }
+
+ private:
+  TraceSession* session_;
+  const char* name_;
+  const char* category_;
+  std::vector<TraceArg> end_args_;
+};
+
+}  // namespace actg::obs
+
+#endif  // ACTG_OBS_TRACE_H

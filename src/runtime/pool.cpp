@@ -4,9 +4,24 @@
 #include <exception>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace actg::runtime {
 
 namespace {
+
+/// Span around one job body. Emitted by both the serial inline path and
+/// DrainBatch so trace *content* is identical for any --jobs count
+/// (only thread ids and timestamps differ).
+void RunJobTraced(const std::function<void(std::size_t)>& body,
+                  std::size_t index) {
+  obs::ScopedSpan span(obs::TraceSession::Current(), "pool.job",
+                       "runtime");
+  if (span.enabled()) {
+    span.AddArg(obs::IntArg("index", static_cast<std::int64_t>(index)));
+  }
+  body(index);
+}
 
 /// Set while a thread executes a job body, so a nested ParallelFor runs
 /// inline instead of re-entering the queue (the caller-participation
@@ -52,7 +67,7 @@ void Pool::ParallelFor(std::size_t n,
   if (workers_.empty() || n == 1 || t_inside_job) {
     // Serial pool, trivial batch, or nested call from inside a job:
     // run inline. Identical results by the determinism contract.
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) RunJobTraced(body, i);
     return;
   }
 
@@ -91,7 +106,7 @@ void Pool::DrainBatch(const std::shared_ptr<Batch>& batch) {
     t_inside_job = true;
     std::exception_ptr error;
     try {
-      batch->body(index);
+      RunJobTraced(batch->body, index);
     } catch (...) {
       error = std::current_exception();
     }

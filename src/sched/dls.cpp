@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
 #include "runtime/metrics.h"
 #include "util/error.h"
 
@@ -85,6 +86,10 @@ Schedule RunDls(const ctg::Ctg& graph,
                                          "stage.dls");
   options.Validate().ThrowIfError();
   const std::size_t n = graph.task_count();
+  obs::ScopedSpan span(obs::TraceSession::Current(), "sched.dls", "sched");
+  if (span.enabled()) {
+    span.AddArg(obs::IntArg("tasks", static_cast<std::int64_t>(n)));
+  }
   Schedule schedule(graph, analysis, platform);
   if (options.fixed_mapping != nullptr) {
     ACTG_CHECK(options.fixed_mapping->size() == n,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "runtime/metrics.h"
 #include "util/error.h"
 
@@ -14,6 +15,8 @@ InstanceResult ExecuteInstance(const sched::Schedule& schedule,
   const std::size_t n = graph.task_count();
   ACTG_CHECK(assignment.size() == n,
              "Assignment size does not match the graph");
+  obs::ScopedSpan span(obs::TraceSession::Current(), "sim.instance",
+                       "sim");
 
   std::vector<bool> active(n, false);
   InstanceResult result;
@@ -69,6 +72,10 @@ InstanceResult ExecuteInstance(const sched::Schedule& schedule,
   if (graph.deadline_ms() > 0.0) {
     result.deadline_met = result.makespan_ms <= graph.deadline_ms() + 1e-6;
   }
+  if (span.enabled()) {
+    span.AddArg(obs::IntArg(
+        "active", static_cast<std::int64_t>(result.active_tasks)));
+  }
   return result;
 }
 
@@ -83,6 +90,11 @@ RunSummary RunTrace(const sched::Schedule& schedule,
                     const trace::BranchTrace& trace) {
   const runtime::ScopedTimer stage_timer(runtime::Metrics::Global(),
                                          "stage.sim");
+  obs::ScopedSpan span(obs::TraceSession::Current(), "sim.run", "sim");
+  if (span.enabled()) {
+    span.AddArg(obs::IntArg(
+        "instances", static_cast<std::int64_t>(trace.size())));
+  }
   RunSummary summary;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     summary.Add(ExecuteInstance(schedule, trace.At(i)));

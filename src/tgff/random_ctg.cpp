@@ -278,15 +278,57 @@ arch::Platform BuildPlatform(const ctg::Ctg& graph,
 
 }  // namespace
 
-RandomCase GenerateRandomCtg(const RandomCtgParams& params) {
-  ACTG_CHECK(params.task_count >= 1, "task_count must be >= 1");
-  ACTG_CHECK(params.fork_count >= 0, "fork_count must be >= 0");
-  ACTG_CHECK(params.pe_count >= 1, "pe_count must be >= 1");
-  const int min_tasks = params.category == Category::kForkJoin
-                            ? MinBlockTasks(params.fork_count) + 2
-                            : 2 + 3 * params.fork_count;
-  ACTG_CHECK(params.task_count >= min_tasks,
-             "task_count too small for the requested fork_count");
+util::Error RandomCtgParams::Validate() const {
+  if (task_count < 1) {
+    return util::Error::Invalid(
+        "RandomCtgParams: task_count must be >= 1");
+  }
+  if (fork_count < 0) {
+    return util::Error::Invalid(
+        "RandomCtgParams: fork_count must be >= 0");
+  }
+  if (pe_count < 1) {
+    return util::Error::Invalid("RandomCtgParams: pe_count must be >= 1");
+  }
+  const int min_tasks = category == Category::kForkJoin
+                            ? MinBlockTasks(fork_count) + 2
+                            : 2 + 3 * fork_count;
+  if (task_count < min_tasks) {
+    return util::Error::Invalid(
+        "RandomCtgParams: task_count too small for the requested "
+        "fork_count (need >= " +
+        std::to_string(min_tasks) + ")");
+  }
+  if (!(wcet_min_ms > 0.0) || wcet_max_ms < wcet_min_ms) {
+    return util::Error::Invalid(
+        "RandomCtgParams: WCET range must be positive and ordered");
+  }
+  if (!(hetero_min > 0.0) || hetero_max < hetero_min) {
+    return util::Error::Invalid(
+        "RandomCtgParams: heterogeneity range must be positive and "
+        "ordered");
+  }
+  if (!(power_min > 0.0) || power_max < power_min) {
+    return util::Error::Invalid(
+        "RandomCtgParams: power range must be positive and ordered");
+  }
+  if (comm_min_kb < 0.0 || comm_max_kb < comm_min_kb) {
+    return util::Error::Invalid(
+        "RandomCtgParams: comm range must be non-negative and ordered");
+  }
+  if (!(bandwidth_kb_per_ms > 0.0)) {
+    return util::Error::Invalid(
+        "RandomCtgParams: bandwidth must be positive");
+  }
+  if (!(min_speed_ratio > 0.0) || min_speed_ratio > 1.0) {
+    return util::Error::Invalid(
+        "RandomCtgParams: min_speed_ratio must lie in (0, 1]");
+  }
+  return {};
+}
+
+util::Expected<RandomCase> MakeRandomCtg(const RandomCtgParams& params) {
+  if (util::Error err = params.Validate()) return err;
 
   Gen gen(params);
   if (params.category == Category::kForkJoin) {
@@ -302,6 +344,10 @@ RandomCase GenerateRandomCtg(const RandomCtgParams& params) {
               "generator produced the wrong fork count");
   arch::Platform platform = BuildPlatform(graph, params, gen.rng);
   return RandomCase{std::move(graph), std::move(platform)};
+}
+
+RandomCase GenerateRandomCtg(const RandomCtgParams& params) {
+  return MakeRandomCtg(params).value();
 }
 
 }  // namespace actg::tgff

@@ -9,8 +9,10 @@
 #ifndef ACTG_UTIL_ERROR_H
 #define ACTG_UTIL_ERROR_H
 
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace actg {
 
@@ -78,6 +80,51 @@ class [[nodiscard]] Error {
 
  private:
   std::string message_;
+};
+
+/// Value-or-error result for factory-style APIs, the value-producing
+/// counterpart of Error (parsers, generators — anything that builds an
+/// object from data that may be malformed). Unlike an out-parameter
+/// convention it works for types without default constructors (Ctg and
+/// Platform are builder-only), and unlike exceptions the failure is an
+/// inspectable value consistent with Validate() -> util::Error.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  /// Success.
+  Expected(T value) : value_(std::move(value)) {}
+
+  /// Failure; \p error must not be the success value.
+  Expected(Error error) : error_(std::move(error)) {
+    if (error_.ok()) {
+      throw InternalError(
+          "util::Expected: constructed from a success Error");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The failure status; the success value when ok().
+  const Error& error() const { return error_; }
+
+  /// The contained value; throws actg::InvalidArgument with the error's
+  /// message when this holds a failure.
+  T& value() & {
+    error_.ThrowIfError();
+    return *value_;
+  }
+  const T& value() const& {
+    error_.ThrowIfError();
+    return *value_;
+  }
+  T&& value() && {
+    error_.ThrowIfError();
+    return *std::move(value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Error error_;
 };
 
 }  // namespace util

@@ -175,5 +175,32 @@ TEST(Parsing, RejectsMalformedPlatform) {
   }
 }
 
+TEST(ExpectedParsing, ParseCtgReportsErrorsAsValues) {
+  std::istringstream bad("ctg 2 1\nthis is not a line\n");
+  const util::Expected<ctg::Ctg> result = ParseCtg(bad);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.error().message().empty());
+  EXPECT_THROW(result.value(), InvalidArgument);
+}
+
+TEST(ExpectedParsing, ParsePlatformReportsErrorsAsValues) {
+  std::istringstream bad("platform -3\n");
+  const util::Expected<arch::Platform> result = ParsePlatform(bad);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.error().message().empty());
+}
+
+TEST(ExpectedParsing, ParseMatchesDeprecatedReaders) {
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  std::ostringstream out;
+  WriteCtg(out, ex.graph);
+  std::istringstream via_parse_in(out.str());
+  std::istringstream via_read_in(out.str());
+  const util::Expected<ctg::Ctg> parsed = ParseCtg(via_parse_in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.error().ok());
+  ExpectGraphsEqual(parsed.value(), ReadCtg(via_read_in));
+}
+
 }  // namespace
 }  // namespace actg::io

@@ -196,5 +196,36 @@ TEST(RandomCtg, NestedForksInCategory1) {
   EXPECT_TRUE(found_nested);
 }
 
+TEST(RandomCtgValidate, AcceptsDefaultsRejectsBadRanges) {
+  EXPECT_TRUE(RandomCtgParams{}.Validate().ok());
+
+  RandomCtgParams bad_counts;
+  bad_counts.task_count = 0;
+  EXPECT_FALSE(bad_counts.Validate().ok());
+
+  RandomCtgParams bad_wcet;
+  bad_wcet.wcet_min_ms = 10.0;
+  bad_wcet.wcet_max_ms = 5.0;  // inverted range
+  const util::Error err = bad_wcet.Validate();
+  EXPECT_TRUE(static_cast<bool>(err));
+  EXPECT_FALSE(err.message().empty());
+
+  RandomCtgParams bad_speed;
+  bad_speed.min_speed_ratio = 0.0;
+  EXPECT_FALSE(bad_speed.Validate().ok());
+}
+
+TEST(RandomCtgValidate, MakeRandomCtgPropagatesTheError) {
+  RandomCtgParams params;
+  params.task_count = 5;
+  params.fork_count = 3;
+  const util::Expected<RandomCase> result = MakeRandomCtg(params);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error().message(), params.Validate().message());
+
+  params.task_count = 20;
+  EXPECT_TRUE(MakeRandomCtg(params).ok());
+}
+
 }  // namespace
 }  // namespace actg::tgff

@@ -339,3 +339,286 @@ TEST_F(TraceFixture, MarkovProcessDrivesGenerator) {
 }  // namespace
 }  // namespace actg::trace
 
+
+// ---------------------------------------------------------------------------
+// Structured tracing (src/obs): span lifecycle, export determinism and
+// the disabled fast path.
+// ---------------------------------------------------------------------------
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "adaptive/controller.h"
+#include "apps/common.h"
+#include "dvfs/algorithms.h"
+#include "dvfs/policy.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "runtime/pool.h"
+#include "sched/dls.h"
+
+namespace actg::obs {
+namespace {
+
+TraceOptions Deterministic() {
+  TraceOptions options;
+  options.deterministic_clock = true;
+  return options;
+}
+
+/// Event key ignoring timestamps and thread ids: the part of the trace
+/// the determinism contract covers.
+std::vector<std::string> ContentKeys(const std::vector<TraceEvent>& events) {
+  std::vector<std::string> keys;
+  keys.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    std::string key;
+    key += static_cast<char>(e.phase);
+    key += '|';
+    key += e.name;
+    key += '|';
+    key += e.category;
+    for (const TraceArg& arg : e.args) {
+      key += '|';
+      key += arg.key;
+      key += '=';
+      key += arg.value;
+    }
+    keys.push_back(std::move(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+#ifndef ACTG_OBS_DISABLED
+
+TEST(ObsTrace, SpanNestingAndLifecycle) {
+  TraceSession session(Deterministic());
+  {
+    SessionGuard guard(&session);
+    ASSERT_EQ(TraceSession::Current(), &session);
+    ScopedSpan outer(TraceSession::Current(), "outer", "test");
+    ASSERT_TRUE(outer.enabled());
+    outer.AddArg(IntArg("tasks", 7));
+    {
+      ScopedSpan inner(TraceSession::Current(), "inner", "test");
+      inner.AddArg(StrArg("policy", "online"));
+      inner.AddArg(NumArg("ratio", 0.5));
+    }
+    session.Counter("calls", "test", 3.0);
+    session.Instant("tick", "test", {IntArg("i", 1)});
+  }
+  EXPECT_EQ(TraceSession::Current(), nullptr);
+
+  const std::vector<TraceEvent> events = session.Events();
+  ASSERT_EQ(events.size(), 6u);
+  // outer B, inner B, inner E, counter, instant, outer E — strictly
+  // nested, sequence-numbered timestamps.
+  EXPECT_EQ(events[0].phase, EventPhase::kBegin);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].phase, EventPhase::kBegin);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].phase, EventPhase::kEnd);
+  EXPECT_EQ(events[2].name, "inner");
+  ASSERT_EQ(events[2].args.size(), 2u);
+  EXPECT_EQ(events[2].args[0].key, "policy");
+  EXPECT_EQ(events[2].args[0].value, "online");
+  EXPECT_TRUE(events[2].args[0].quoted);
+  EXPECT_EQ(events[2].args[1].value, "0.5");
+  EXPECT_EQ(events[3].phase, EventPhase::kCounter);
+  EXPECT_EQ(events[4].phase, EventPhase::kInstant);
+  EXPECT_EQ(events[5].phase, EventPhase::kEnd);
+  EXPECT_EQ(events[5].name, "outer");
+  ASSERT_EQ(events[5].args.size(), 1u);
+  EXPECT_EQ(events[5].args[0].value, "7");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts, i) << "deterministic clock = sequence";
+    EXPECT_EQ(events[i].tid, 0);
+  }
+}
+
+TEST(ObsTrace, NullSessionRecordsNothing) {
+  // No guard installed: instrumentation sees nullptr and must not touch
+  // any session.
+  ASSERT_EQ(TraceSession::Current(), nullptr);
+  ScopedSpan span(TraceSession::Current(), "orphan", "test");
+  EXPECT_FALSE(span.enabled());
+
+  TraceSession bystander(Deterministic());
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const ctg::ActivationAnalysis analysis(ex.graph);
+  const auto probs = apps::UniformProbabilities(ex.graph);
+  dvfs::RunWithPolicy("online", ex.graph, analysis, ex.platform, probs);
+  EXPECT_TRUE(bystander.Events().empty());
+  EXPECT_TRUE(bystander.Timeline().empty());
+}
+
+TEST(ObsTrace, PipelineSpansBalanceAndNest) {
+  TraceSession session(Deterministic());
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const ctg::ActivationAnalysis analysis(ex.graph);
+  const auto probs = apps::UniformProbabilities(ex.graph);
+  {
+    SessionGuard guard(&session);
+    dvfs::RunWithPolicy("online", ex.graph, analysis, ex.platform, probs);
+  }
+  const std::vector<TraceEvent> events = session.Events();
+  ASSERT_FALSE(events.empty());
+  // The pipeline records the scheduler, the path enumeration and the
+  // stretch policy.
+  auto has = [&](const std::string& name) {
+    return std::any_of(events.begin(), events.end(),
+                       [&](const TraceEvent& e) { return e.name == name; });
+  };
+  EXPECT_TRUE(has("sched.dls"));
+  EXPECT_TRUE(has("dvfs.enumerate"));
+  EXPECT_TRUE(has("dvfs.stretch"));
+  // Begin/End balance per thread, never closing an unopened span.
+  std::map<int, int> depth;
+  for (const TraceEvent& e : events) {
+    if (e.phase == EventPhase::kBegin) ++depth[e.tid];
+    if (e.phase == EventPhase::kEnd) {
+      --depth[e.tid];
+      EXPECT_GE(depth[e.tid], 0);
+    }
+  }
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "tid " << tid;
+}
+
+TEST(ObsTrace, GoldenChromeTraceFig1) {
+  // Byte-exact export of the online pipeline on the paper's Fig. 1
+  // example under the deterministic clock. Regenerate with
+  //   ACTG_REGOLDEN=1 ./test_trace --gtest_filter='*GoldenChromeTrace*'
+  TraceSession session(Deterministic());
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const ctg::ActivationAnalysis analysis(ex.graph);
+  const auto probs = apps::UniformProbabilities(ex.graph);
+  {
+    SessionGuard guard(&session);
+    dvfs::RunWithPolicy("online", ex.graph, analysis, ex.platform, probs);
+  }
+  std::ostringstream out;
+  WriteChromeTrace(out, session);
+
+  const std::string golden_path =
+      std::string(ACTG_TEST_GOLDEN_DIR) + "/fig1_trace.json";
+  if (std::getenv("ACTG_REGOLDEN") != nullptr) {
+    std::ofstream file(golden_path);
+    ASSERT_TRUE(file.good()) << "cannot write " << golden_path;
+    file << out.str();
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream file(golden_path);
+  ASSERT_TRUE(file.good()) << "missing golden file " << golden_path
+                           << " (run with ACTG_REGOLDEN=1)";
+  std::ostringstream expected;
+  expected << file.rdbuf();
+  EXPECT_EQ(out.str(), expected.str());
+}
+
+TEST(ObsTrace, ChromeExportEscapesJson) {
+  TraceSession session(Deterministic());
+  session.Instant("quote\"back\\slash", "test",
+                  {StrArg("k", "line\nbreak\ttab")});
+  std::ostringstream out;
+  WriteChromeTrace(out, session);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak\\ttab"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(ObsTrace, JobsOneVersusFourSameContent) {
+  // The determinism contract: worker count changes timestamps and
+  // thread ids, never the multiset of recorded span contents.
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const ctg::ActivationAnalysis analysis(ex.graph);
+  const auto probs = apps::UniformProbabilities(ex.graph);
+  auto run = [&](std::size_t jobs) {
+    TraceSession session;
+    SessionGuard guard(&session);
+    runtime::Pool pool(jobs);
+    runtime::ParallelMap(pool, 6, [&](std::size_t) {
+      sched::Schedule s =
+          sched::RunDls(ex.graph, analysis, ex.platform, probs);
+      dvfs::ApplyPolicy("online", s, probs);
+      return 0;
+    });
+    return ContentKeys(session.Events());
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ObsTrace, AdaptiveControllerEmitsTimeline) {
+  TraceSession session(Deterministic());
+  const apps::Fig1Example ex = apps::MakeFig1Example();
+  const ctg::ActivationAnalysis analysis(ex.graph);
+  const auto probs = apps::UniformProbabilities(ex.graph);
+  adaptive::AdaptiveOptions options;
+  options.trace = &session;
+  adaptive::AdaptiveController controller(ex.graph, analysis, ex.platform,
+                                          probs, options);
+  ctg::BranchAssignment assignment(ex.graph.task_count());
+  for (TaskId fork : ex.graph.ForkIds()) assignment.Set(fork, 0);
+  const std::size_t instances = 3;
+  for (std::size_t i = 0; i < instances; ++i) {
+    controller.ProcessInstance(assignment);
+  }
+
+  const std::vector<TimelineRow> rows = session.Timeline();
+  const std::size_t pes = ex.platform.pe_count();
+  ASSERT_EQ(rows.size(), instances * pes);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].unit, rows[0].unit);
+    EXPECT_EQ(rows[i].iteration, i / pes);
+    EXPECT_EQ(rows[i].pe, static_cast<int>(i % pes));
+    EXPECT_GE(rows[i].mean_speed_ratio, 0.0);
+    EXPECT_LE(rows[i].mean_speed_ratio, 1.0 + 1e-9);
+  }
+
+  std::ostringstream csv;
+  WriteTimelineCsv(csv, session);
+  std::istringstream lines(csv.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header,
+            "unit,iteration,pe,active_tasks,busy_ms,mean_speed_ratio,"
+            "reschedules");
+  std::size_t body = 0;
+  for (std::string line; std::getline(lines, line);) ++body;
+  EXPECT_EQ(body, rows.size());
+
+  // The controller also spans every instance and counts reschedules.
+  const auto events = session.Events();
+  EXPECT_TRUE(std::any_of(events.begin(), events.end(),
+                          [](const TraceEvent& e) {
+                            return e.name == "adaptive.instance";
+                          }));
+  EXPECT_TRUE(std::any_of(events.begin(), events.end(),
+                          [](const TraceEvent& e) {
+                            return e.phase == EventPhase::kCounter &&
+                                   e.name == "adaptive.reschedule_calls";
+                          }));
+}
+
+#else  // ACTG_OBS_DISABLED
+
+TEST(ObsTrace, DisabledBuildNeverInstallsASession) {
+  TraceSession session;
+  SessionGuard guard(&session);
+  EXPECT_EQ(TraceSession::Current(), nullptr);
+  ScopedSpan span(TraceSession::Current(), "any", "test");
+  EXPECT_FALSE(span.enabled());
+  EXPECT_TRUE(session.Events().empty());
+}
+
+#endif  // ACTG_OBS_DISABLED
+
+}  // namespace
+}  // namespace actg::obs

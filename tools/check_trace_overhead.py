@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Gate the disabled-tracing overhead of the obs subsystem.
+
+Usage: check_trace_overhead.py <default_build.json> <disable_obs_build.json> [max_ratio]
+
+Both inputs are google-benchmark --benchmark_format=json outputs of
+BM_RescheduleEngine: the first from the default build (tracing compiled
+in, no session installed — the null-session fast path), the second from
+a -DACTG_DISABLE_OBS=ON build (tracing compiled out entirely). The gate
+compares the min real_time across repetitions per benchmark and fails
+when the null-session path is more than max_ratio (default 1.02, the
+<2% requirement) of the compiled-out time. Use several repetitions; the
+min filters scheduler noise.
+"""
+
+import json
+import sys
+
+
+def min_times(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data["benchmarks"]:
+        if bench.get("run_type") not in (None, "iteration"):
+            continue
+        name = bench.get("run_name", bench["name"])
+        out[name] = min(out.get(name, float("inf")), bench["real_time"])
+    return out
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__)
+        return 2
+    max_ratio = float(argv[3]) if len(argv) == 4 else 1.02
+    enabled = min_times(argv[1])
+    disabled = min_times(argv[2])
+    common = sorted(set(enabled) & set(disabled))
+    if not common:
+        print("FAIL: no common benchmarks between the two files")
+        return 1
+    failed = False
+    for name in common:
+        ratio = enabled[name] / disabled[name]
+        status = "OK" if ratio <= max_ratio else "FAIL"
+        failed |= ratio > max_ratio
+        print(
+            f"{status} {name}: null-session {enabled[name]:.0f}ns vs "
+            f"compiled-out {disabled[name]:.0f}ns (ratio {ratio:.4f}, "
+            f"gate {max_ratio:.2f})"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate an obs --trace export against docs/trace_event.schema.json.
+
+Usage: validate_trace.py <trace.json> [schema.json]
+
+Stdlib-only: implements the small JSON Schema subset the snippet uses
+(type / required / properties / items / enum / minimum), so CI needs no
+jsonschema package. Beyond the schema it also checks the semantic
+invariant the exporter guarantees: per (pid, tid), B and E events
+balance and never close an unopened span.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def validate(instance, schema, path="$"):
+    errors = []
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = TYPES[expected]
+        ok = isinstance(instance, python_type)
+        if expected == "integer" and isinstance(instance, bool):
+            ok = False
+        if not ok:
+            return [f"{path}: expected {expected}, got {type(instance).__name__}"]
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key '{key}'")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in instance:
+                errors.extend(validate(instance[key], subschema, f"{path}.{key}"))
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+def check_span_balance(events):
+    errors = []
+    stacks = {}
+    for i, event in enumerate(events):
+        key = (event.get("pid"), event.get("tid"))
+        stack = stacks.setdefault(key, [])
+        if event.get("ph") == "B":
+            stack.append(event.get("name"))
+        elif event.get("ph") == "E":
+            if not stack:
+                errors.append(f"event {i}: E '{event.get('name')}' closes an unopened span on tid {key[1]}")
+            elif stack[-1] != event.get("name"):
+                errors.append(f"event {i}: E '{event.get('name')}' mismatches open span '{stack[-1]}'")
+            else:
+                stack.pop()
+    for (_, tid), stack in stacks.items():
+        if stack:
+            errors.append(f"tid {tid}: {len(stack)} span(s) never closed: {stack}")
+    return errors
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__)
+        return 2
+    trace_path = Path(argv[1])
+    schema_path = (
+        Path(argv[2])
+        if len(argv) == 3
+        else Path(__file__).resolve().parent.parent / "docs" / "trace_event.schema.json"
+    )
+    trace = json.loads(trace_path.read_text())
+    schema = json.loads(schema_path.read_text())
+
+    errors = validate(trace, schema)
+    errors.extend(check_span_balance(trace.get("traceEvents", [])))
+    if errors:
+        for error in errors[:25]:
+            print(f"FAIL {error}")
+        print(f"{trace_path}: {len(errors)} error(s)")
+        return 1
+    events = trace["traceEvents"]
+    names = sorted({e["name"] for e in events})
+    print(f"OK {trace_path}: {len(events)} events, names: {', '.join(names)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
