@@ -124,6 +124,11 @@ sim::RunSummary AdaptiveHarness::Run(const trace::BranchTrace& vectors) {
   return adaptive::RunAdaptive(*controller_, vectors);
 }
 
+sim::RunSummary AdaptiveHarness::RunWithFaults(
+    const trace::BranchTrace& vectors, const faults::Injector& injector) {
+  return adaptive::RunAdaptiveWithFaults(*controller_, vectors, injector);
+}
+
 sched::Schedule ExperimentSpec::BuildOnlineSchedule() const {
   ACTG_CHECK(profile_ != nullptr, "ExperimentSpec: profile not set");
   sched::Schedule schedule =
@@ -145,6 +150,7 @@ AdaptiveHarness ExperimentSpec::BuildAdaptive() const {
   options.policy = policy_;
   options.trace = trace_;
   options.schedule_cache = harness.cache_.get();
+  options.degrade = degrade_;
   harness.controller_ = std::make_unique<adaptive::AdaptiveController>(
       *graph_, *analysis_, *platform_, *profile_, options);
   return harness;

@@ -14,7 +14,12 @@
 ///   actg_cli simulate <ctg.txt> <platform.txt> <instances> <seed>
 ///       Drive the graph with equal-average fluctuating vectors and
 ///       compare the non-adaptive online algorithm against the adaptive
-///       controller at thresholds 0.5 and 0.1.
+///       controller at thresholds 0.5 and 0.1. With --faults <plan>
+///       the run additionally injects the plan's faults (seeded from
+///       <seed> unless the plan pins its own) and engages the adaptive
+///       controller's graceful-degradation ladder; --no-degrade keeps
+///       the ladder off for ablation. Without --faults the output is
+///       identical to previous releases.
 ///
 /// Every command also understands --trace <file> (or the ACTG_TRACE
 /// environment variable): the run's instrumented stages are written as
@@ -22,8 +27,10 @@
 /// next to it.
 
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "apps/common.h"
@@ -31,6 +38,8 @@
 #include "dvfs/algorithms.h"
 #include "dvfs/policy.h"
 #include "experiments.h"
+#include "faults/injector.h"
+#include "faults/plan.h"
 #include "io/text_format.h"
 #include "obs/setup.h"
 #include "sched/gantt.h"
@@ -59,10 +68,36 @@ int Usage() {
          "[ref1|ref2|--policy <" +
              policies + ">]\n"
       << "  actg_cli simulate <ctg.txt> <platform.txt> <instances> "
-         "<seed>\n"
+         "<seed> [--faults <plan> [--no-degrade]]\n"
       << "common options: --trace <file> (Chrome trace JSON + timeline "
          "CSV)\n";
   return 2;
+}
+
+/// Fault-injection flags of the simulate command, stripped from argv
+/// before positional parsing (mirroring obs::ParseTracePath).
+struct FaultFlags {
+  std::optional<std::string> plan_path;
+  bool no_degrade = false;
+};
+
+FaultFlags ParseFaultFlags(int& argc, char** argv) {
+  FaultFlags flags;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--faults" && i + 1 < argc) {
+      flags.plan_path = argv[++i];
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      flags.plan_path = arg.substr(std::strlen("--faults="));
+    } else if (arg == "--no-degrade") {
+      flags.no_degrade = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return flags;
 }
 
 ctg::Ctg LoadCtg(const std::string& path) {
@@ -146,7 +181,7 @@ int CmdSchedule(int argc, char** argv) {
   return 0;
 }
 
-int CmdSimulate(int argc, char** argv) {
+int CmdSimulate(int argc, char** argv, const FaultFlags& flags) {
   if (argc != 6) return Usage();
   const ctg::Ctg graph = LoadCtg(argv[2]);
   const arch::Platform platform = LoadPlatform(argv[3]);
@@ -161,30 +196,85 @@ int CmdSimulate(int argc, char** argv) {
 
   const sched::Schedule online =
       dvfs::RunOnlineAlgorithm(graph, analysis, platform, profile);
-  const sim::RunSummary base = sim::RunTrace(online, vectors);
 
+  if (!flags.plan_path.has_value()) {
+    // The fault-free path: unchanged output, byte for byte.
+    const sim::RunSummary base = sim::RunTrace(online, vectors);
+    util::TablePrinter table({"configuration", "total energy (mJ)",
+                              "avg (mJ)", "re-schedules", "misses"});
+    table.BeginRow()
+        .Cell("online (static profile)")
+        .Cell(base.total_energy_mj, 1)
+        .Cell(base.AverageEnergy(), 3)
+        .Cell(0)
+        .Cell(base.deadline_misses);
+    bench::ExperimentSpec spec(graph, analysis, platform);
+    spec.WithProfile(profile).WithWindow(20);
+    for (double threshold : {0.5, 0.1}) {
+      bench::AdaptiveHarness harness =
+          spec.WithThreshold(threshold).BuildAdaptive();
+      const sim::RunSummary run = harness.Run(vectors);
+      table.BeginRow()
+          .Cell("adaptive T=" + util::TablePrinter::Format(threshold, 1))
+          .Cell(run.total_energy_mj, 1)
+          .Cell(run.AverageEnergy(), 3)
+          .Cell(harness.reschedule_count())
+          .Cell(run.deadline_misses);
+    }
+    table.Print(std::cout);
+    return 0;
+  }
+
+  // Fault-injected path: same protocol, plus the injector's effects and
+  // the degradation ladder (unless --no-degrade ablates it).
+  std::ifstream plan_in(*flags.plan_path);
+  ACTG_CHECK(plan_in.good(),
+             "cannot open fault plan: " + *flags.plan_path);
+  util::Expected<faults::FaultPlan> plan = faults::ParseFaultPlan(plan_in);
+  if (!plan.ok()) {
+    std::cerr << "error: " << plan.error().message() << "\n";
+    return 1;
+  }
+  const faults::Injector injector(plan.value(), graph, platform, seed);
+
+  const sim::RunSummary base =
+      sim::RunTraceWithFaults(online, vectors, injector);
   util::TablePrinter table({"configuration", "total energy (mJ)",
-                            "avg (mJ)", "re-schedules", "misses"});
+                            "avg (mJ)", "re-schedules", "misses",
+                            "overruns", "escalations"});
   table.BeginRow()
       .Cell("online (static profile)")
       .Cell(base.total_energy_mj, 1)
       .Cell(base.AverageEnergy(), 3)
       .Cell(0)
-      .Cell(base.deadline_misses);
+      .Cell(base.deadline_misses)
+      .Cell(base.overrun_instances)
+      .Cell(0);
   bench::ExperimentSpec spec(graph, analysis, platform);
   spec.WithProfile(profile).WithWindow(20);
+  if (!flags.no_degrade) {
+    adaptive::DegradeOptions degrade;
+    degrade.enabled = true;
+    spec.WithDegrade(degrade);
+  }
   for (double threshold : {0.5, 0.1}) {
     bench::AdaptiveHarness harness =
         spec.WithThreshold(threshold).BuildAdaptive();
-    const sim::RunSummary run = harness.Run(vectors);
+    const sim::RunSummary run = harness.RunWithFaults(vectors, injector);
     table.BeginRow()
         .Cell("adaptive T=" + util::TablePrinter::Format(threshold, 1))
         .Cell(run.total_energy_mj, 1)
         .Cell(run.AverageEnergy(), 3)
         .Cell(harness.reschedule_count())
-        .Cell(run.deadline_misses);
+        .Cell(run.deadline_misses)
+        .Cell(run.overrun_instances)
+        .Cell(harness.controller().escalation_count());
   }
   table.Print(std::cout);
+  std::cout << "\nfault plan: " << *flags.plan_path << " (intensity "
+            << util::TablePrinter::Format(plan.value().intensity, 2)
+            << ", ladder "
+            << (flags.no_degrade ? "disabled" : "enabled") << ")\n";
   return 0;
 }
 
@@ -192,12 +282,14 @@ int CmdSimulate(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   actg::obs::ScopedTracing tracing(argc, argv);
+  const FaultFlags fault_flags = ParseFaultFlags(argc, argv);
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   try {
     if (command == "generate") return CmdGenerate(argc, argv);
     if (command == "schedule") return CmdSchedule(argc, argv);
-    if (command == "simulate") return CmdSimulate(argc, argv);
+    if (command == "simulate")
+      return CmdSimulate(argc, argv, fault_flags);
   } catch (const actg::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,5 +1,7 @@
 #include "adaptive/controller.h"
 
+#include <algorithm>
+
 #include "runtime/fingerprint.h"
 #include "runtime/metrics.h"
 #include "sim/energy.h"
@@ -20,6 +22,11 @@ std::uint64_t FingerprintConfig(const AdaptiveOptions& options) {
     for (PeId pe : *options.dls.fixed_mapping) {
       fp = runtime::HashCombine(fp, static_cast<std::uint64_t>(pe.value));
     }
+  }
+  // Only folded in when restricting, so fingerprints (and the timeline
+  // unit ids derived from them) of mask-free configs are unchanged.
+  if (!options.dls.available_pes.IsAll()) {
+    fp = runtime::HashCombine(fp, options.dls.available_pes.removed_bits());
   }
   fp = runtime::HashCombine(fp, options.stretch.max_paths);
   for (const char c : options.policy) {
@@ -50,6 +57,26 @@ AdaptiveOptions Validated(AdaptiveOptions options) {
 
 }  // namespace
 
+util::Error DegradeOptions::Validate() const {
+  if (!enabled) return {};
+  if (miss_burst == 0) {
+    return util::Error::Invalid("DegradeOptions: miss_burst must be > 0");
+  }
+  if (burst_window == 0) {
+    return util::Error::Invalid(
+        "DegradeOptions: burst_window must be > 0");
+  }
+  if (panic_instances == 0) {
+    return util::Error::Invalid(
+        "DegradeOptions: panic_instances must be > 0");
+  }
+  if (backoff_initial == 0) {
+    return util::Error::Invalid(
+        "DegradeOptions: backoff_initial must be > 0");
+  }
+  return {};
+}
+
 util::Error AdaptiveOptions::Validate() const {
   if (window_length == 0) {
     return util::Error::Invalid(
@@ -65,6 +92,7 @@ util::Error AdaptiveOptions::Validate() const {
   }
   if (util::Error err = dls.Validate()) return err;
   if (util::Error err = stretch.Validate()) return err;
+  if (util::Error err = degrade.Validate()) return err;
   return {};
 }
 
@@ -108,11 +136,21 @@ obs::TraceSession* AdaptiveController::TraceTarget() const {
 }
 
 sched::Schedule AdaptiveController::Reschedule() const {
+  return Reschedule(options_.dls.available_pes, 0.0);
+}
+
+sched::Schedule AdaptiveController::Reschedule(
+    const arch::PeMask& available, double speed_floor) const {
   const runtime::ScopedTimer stage_timer(runtime::Metrics::Global(),
                                          "stage.reschedule");
   obs::ScopedSpan span(TraceTarget(), "adaptive.reschedule", "adaptive");
+  // Degraded reschedules (restricted PEs and/or a speed floor) bypass
+  // the cache: its key encodes neither constraint, and a degraded
+  // schedule must never be served back to a healthy lookup.
+  const bool degraded =
+      !(available == options_.dls.available_pes) || speed_floor != 0.0;
   runtime::ScheduleCacheKey key;
-  if (options_.schedule_cache != nullptr) {
+  if (options_.schedule_cache != nullptr && !degraded) {
     key = CacheKey();
     if (std::optional<runtime::ScheduleCacheEntry> cached =
             options_.schedule_cache->Lookup(key)) {
@@ -120,20 +158,26 @@ sched::Schedule AdaptiveController::Reschedule() const {
       return std::move(cached->schedule);
     }
   }
-  if (span.enabled()) span.AddArg(obs::IntArg("cached", 0));
+  if (span.enabled()) {
+    span.AddArg(obs::IntArg("cached", 0));
+    if (degraded) span.AddArg(obs::IntArg("degraded", 1));
+  }
   // Both stages run on the controller's reusable workspace: RunDls
   // borrows the engine's DLS scratch buffers, the stretch policy the
   // path enumeration pools. Results are identical to workspace-free
   // calls.
+  sched::DlsOptions dls = options_.dls;
+  dls.available_pes = available;
   sched::Schedule schedule =
-      sched::RunDls(*graph_, *analysis_, *platform_, in_use_, options_.dls,
+      sched::RunDls(*graph_, *analysis_, *platform_, in_use_, dls,
                     &engine_->dls_workspace());
   dvfs::PolicyContext ctx;
   ctx.schedule = &schedule;
   ctx.probs = &in_use_;
   ctx.stretch = options_.stretch;
+  ctx.speed_floor = speed_floor;
   const dvfs::StretchStats stats = policy_->Apply(*engine_, ctx);
-  if (options_.schedule_cache != nullptr) {
+  if (options_.schedule_cache != nullptr && !degraded) {
     options_.schedule_cache->Insert(
         key, runtime::ScheduleCacheEntry{schedule, stats});
   }
@@ -171,7 +215,8 @@ void AdaptiveController::RecordTimeline(
 }
 
 sim::InstanceResult AdaptiveController::ProcessInstance(
-    const ctg::BranchAssignment& assignment) {
+    const ctg::BranchAssignment& assignment,
+    const faults::InstanceFaults* faults) {
   obs::TraceSession* trace = TraceTarget();
   obs::ScopedSpan span(trace, "adaptive.instance", "adaptive");
   if (span.enabled()) {
@@ -183,7 +228,7 @@ sim::InstanceResult AdaptiveController::ProcessInstance(
   // only as the instance runs, so adaptation applies from the next
   // instance on.
   const sim::InstanceResult result =
-      sim::ExecuteInstance(schedule_, assignment);
+      sim::ExecuteInstance(schedule_, assignment, faults);
 
   // Timeline rows describe the schedule the instance just executed
   // with, before any adaptation below replaces it.
@@ -191,25 +236,38 @@ sim::InstanceResult AdaptiveController::ProcessInstance(
 
   profiler_.ObserveInstance(*analysis_, assignment);
 
+  // The degradation ladder reacts to the instance outcome first; while
+  // degraded (and on the instance a ladder transition fires) the normal
+  // threshold adaptation is suspended — the ladder owns the schedule
+  // until it recovers.
+  bool ladder_acted = false;
+  if (options_.degrade.enabled) {
+    ladder_acted = RunLadder(result, faults, trace);
+  }
+  const bool adapt_suspended =
+      ladder_acted || level_ != DegradeLevel::kNormal;
+
   // Threshold detector: any fork whose full window deviates from the
   // in-use probability by more than the threshold triggers one online
   // scheduling + DVFS call with the windowed distributions.
   bool crossed = false;
-  for (TaskId fork : graph_->ForkIds()) {
-    if (!profiler_.Full(fork)) continue;
-    const double distance = profiling::DistributionDistance(
-        profiler_.WindowedDistribution(fork),
-        [&] {
-          std::vector<double> dist(
-              static_cast<std::size_t>(graph_->OutcomeCount(fork)));
-          for (int o = 0; o < graph_->OutcomeCount(fork); ++o) {
-            dist[static_cast<std::size_t>(o)] = in_use_.Outcome(fork, o);
-          }
-          return dist;
-        }());
-    if (distance > options_.threshold) {
-      crossed = true;
-      break;
+  if (!adapt_suspended) {
+    for (TaskId fork : graph_->ForkIds()) {
+      if (!profiler_.Full(fork)) continue;
+      const double distance = profiling::DistributionDistance(
+          profiler_.WindowedDistribution(fork),
+          [&] {
+            std::vector<double> dist(
+                static_cast<std::size_t>(graph_->OutcomeCount(fork)));
+            for (int o = 0; o < graph_->OutcomeCount(fork); ++o) {
+              dist[static_cast<std::size_t>(o)] = in_use_.Outcome(fork, o);
+            }
+            return dist;
+          }());
+      if (distance > options_.threshold) {
+        crossed = true;
+        break;
+      }
     }
   }
   if (crossed) {
@@ -241,11 +299,147 @@ sim::InstanceResult AdaptiveController::ProcessInstance(
   return result;
 }
 
+void AdaptiveController::LogDegrade(obs::TraceSession* trace,
+                                    DegradeLevel level,
+                                    const char* reason) {
+  degrade_log_.push_back(
+      DegradeEvent{instances_processed_, level, reason});
+  if (trace != nullptr) {
+    trace->Instant(
+        "degrade.transition", "adaptive",
+        {obs::IntArg("level", static_cast<std::int64_t>(level)),
+         obs::StrArg("reason", reason),
+         obs::IntArg("iteration",
+                     static_cast<std::int64_t>(instances_processed_))});
+  }
+}
+
+bool AdaptiveController::RunLadder(const sim::InstanceResult& result,
+                                   const faults::InstanceFaults* faults,
+                                   obs::TraceSession* trace) {
+  runtime::Metrics& metrics = runtime::Metrics::Global();
+  const DegradeOptions& opts = options_.degrade;
+
+  // Failed-PE sightings accumulate over the degraded episode so an
+  // out-of-band reschedule avoids every PE seen failing, not only the
+  // ones failing on the triggering instance. Never accumulate past the
+  // point of leaving DLS no PE to place on.
+  if (faults != nullptr && faults->failed_pes != 0) {
+    const std::uint64_t combined = excluded_pes_.removed_bits() |
+                                   faults->failed_pes |
+                                   options_.dls.available_pes.removed_bits();
+    if (arch::PeMask::WithoutBits(combined).CountAvailable(
+            platform_->pe_count()) > 0) {
+      excluded_pes_ = arch::PeMask::WithoutBits(
+          excluded_pes_.removed_bits() | faults->failed_pes);
+    }
+  }
+
+  if (result.deadline_met) {
+    if (level_ == DegradeLevel::kNormal) return false;
+    ++clean_streak_;
+    if (clean_streak_ < opts.panic_instances) return false;
+    // Recover: restore the stretched schedule for the in-use
+    // distribution (a cache hit when that operating point was seen
+    // before) and reset the episode state.
+    level_ = DegradeLevel::kNormal;
+    speed_floor_ = 0.0;
+    excluded_pes_ = arch::PeMask();
+    recent_misses_.clear();
+    clean_streak_ = 0;
+    retries_used_ = 0;
+    next_retry_instance_ = 0;
+    schedule_ = Reschedule();
+    ++recovery_count_;
+    metrics.Increment("degrade.recoveries");
+    LogDegrade(trace, DegradeLevel::kNormal, "clean_streak");
+    return true;
+  }
+
+  // Deadline miss: reset the clean streak, slide the burst window.
+  clean_streak_ = 0;
+  recent_misses_.push_back(instances_processed_);
+  const std::uint64_t window_start =
+      instances_processed_ >= opts.burst_window - 1
+          ? instances_processed_ - (opts.burst_window - 1)
+          : 0;
+  while (!recent_misses_.empty() &&
+         recent_misses_.front() < window_start) {
+    recent_misses_.erase(recent_misses_.begin());
+  }
+
+  if (level_ == DegradeLevel::kNormal) {
+    // First rung: panic to nominal voltage. The running schedule keeps
+    // its mapping and ordering; every stretched task snaps back to
+    // full speed, which only shortens paths.
+    bool changed = false;
+    for (TaskId task : graph_->TaskIds()) {
+      sched::TaskPlacement& placement = schedule_.placement(task);
+      if (placement.speed_ratio < 1.0) {
+        placement.speed_ratio = 1.0;
+        changed = true;
+      }
+    }
+    if (changed) schedule_.RecomputeTimes();
+    level_ = DegradeLevel::kPanic;
+    speed_floor_ = 1.0;
+    ++escalation_count_;
+    metrics.Increment("degrade.escalations");
+    metrics.Increment("degrade.panic_entries");
+    LogDegrade(trace, DegradeLevel::kPanic, "miss");
+    return true;
+  }
+
+  // Already degraded: a miss burst escalates to an out-of-band
+  // reschedule, bounded by the retry budget with exponential backoff
+  // between retries.
+  if (recent_misses_.size() < opts.miss_burst) return false;
+  if (retries_used_ >= opts.max_reschedule_retries) return false;
+  if (instances_processed_ < next_retry_instance_) return false;
+
+  ++retries_used_;
+  const std::size_t shift = std::min<std::size_t>(retries_used_ - 1, 20);
+  next_retry_instance_ =
+      instances_processed_ + (opts.backoff_initial << shift);
+  // Refresh the in-use distribution from the window first: the burst
+  // may stem from drifted branch profiles, not only injected overruns.
+  for (TaskId fork : graph_->ForkIds()) {
+    if (profiler_.Full(fork)) {
+      in_use_.Set(fork, profiler_.WindowedDistribution(fork));
+    }
+  }
+  const arch::PeMask oob_mask = arch::PeMask::WithoutBits(
+      options_.dls.available_pes.removed_bits() |
+      excluded_pes_.removed_bits());
+  schedule_ = Reschedule(oob_mask, speed_floor_);
+  recent_misses_.clear();
+  level_ = DegradeLevel::kFallback;
+  ++escalation_count_;
+  ++oob_reschedule_count_;
+  metrics.Increment("degrade.escalations");
+  metrics.Increment("degrade.oob_reschedules");
+  LogDegrade(trace, DegradeLevel::kFallback, "miss_burst");
+  return true;
+}
+
 sim::RunSummary RunAdaptive(AdaptiveController& controller,
                             const trace::BranchTrace& trace) {
   sim::RunSummary summary;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     summary.Add(controller.ProcessInstance(trace.At(i)));
+  }
+  return summary;
+}
+
+sim::RunSummary RunAdaptiveWithFaults(AdaptiveController& controller,
+                                      const trace::BranchTrace& trace,
+                                      const faults::Injector& injector) {
+  sim::RunSummary summary;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const faults::InstanceFaults f = injector.ForInstance(i);
+    ctg::BranchAssignment assignment = trace.At(i);
+    injector.ApplyDrift(i, assignment);
+    summary.Add(controller.ProcessInstance(assignment, &f));
   }
   return summary;
 }

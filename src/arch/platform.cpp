@@ -8,6 +8,17 @@
 namespace actg::arch {
 
 // ---------------------------------------------------------------------------
+// PeMask
+
+std::size_t PeMask::CountAvailable(std::size_t pe_count) const {
+  std::size_t available = 0;
+  for (std::size_t i = 0; i < pe_count && i < 64; ++i) {
+    if (((removed_ >> i) & 1ULL) == 0) ++available;
+  }
+  return available;
+}
+
+// ---------------------------------------------------------------------------
 // Platform
 
 std::vector<PeId> Platform::PeIds() const {

@@ -11,6 +11,7 @@
 #ifndef ACTG_ARCH_PLATFORM_H
 #define ACTG_ARCH_PLATFORM_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,51 @@ struct PeInfo {
 };
 
 class PlatformBuilder;
+
+/// Availability mask over a platform's PEs (at most 64). The default-
+/// constructed mask imposes no restriction; RemovedPe masks one PE out,
+/// e.g. after a detected dropout, so the scheduler can migrate work to
+/// the surviving PEs. A mask never makes an unavailable platform
+/// available — it only restricts.
+class PeMask {
+ public:
+  /// No restriction: every PE of any platform is available.
+  constexpr PeMask() = default;
+
+  /// Mask with exactly the PEs of \p bits *unavailable* (bit index =
+  /// PeId index).
+  static constexpr PeMask WithoutBits(std::uint64_t bits) {
+    PeMask mask;
+    mask.removed_ = bits;
+    return mask;
+  }
+
+  /// This mask with \p pe additionally removed. PEs beyond the mask's
+  /// 64-bit width cannot be removed and always stay available.
+  PeMask Without(PeId pe) const {
+    if (pe.index() >= 64) return *this;
+    return WithoutBits(removed_ | (1ULL << pe.index()));
+  }
+
+  constexpr bool Contains(PeId pe) const {
+    if (pe.index() >= 64) return true;
+    return ((removed_ >> pe.index()) & 1ULL) == 0;
+  }
+
+  /// True when no PE is masked out.
+  constexpr bool IsAll() const { return removed_ == 0; }
+
+  /// Number of available PEs on a platform with \p pe_count PEs.
+  std::size_t CountAvailable(std::size_t pe_count) const;
+
+  /// Bitmask of removed PEs.
+  constexpr std::uint64_t removed_bits() const { return removed_; }
+
+  friend constexpr bool operator==(const PeMask&, const PeMask&) = default;
+
+ private:
+  std::uint64_t removed_ = 0;
+};
 
 /// Immutable platform bound to a fixed number of tasks. Tables are dense:
 /// WCET/energy for every (task, PE) pair, bandwidth/energy for every

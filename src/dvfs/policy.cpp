@@ -80,7 +80,26 @@ StretchStats Policy::Apply(PathEngine& engine, PolicyContext& ctx) const {
     span.AddArg(obs::StrArg("policy", std::string(Name())));
   }
   const StretchStats stats = DoApply(engine, ctx);
+  if (ctx.speed_floor > 0.0) {
+    // Clamp hook: raise every ratio to the floor. Faster-only, so the
+    // deadline guarantee of the stretcher is preserved by construction.
+    sched::Schedule& schedule = *ctx.schedule;
+    bool changed = false;
+    for (TaskId task : schedule.graph().TaskIds()) {
+      sched::TaskPlacement& placement = schedule.placement(task);
+      const double clamped = schedule.platform().QuantizeSpeed(
+          placement.pe, std::max(placement.speed_ratio, ctx.speed_floor));
+      if (clamped != placement.speed_ratio) {
+        placement.speed_ratio = clamped;
+        changed = true;
+      }
+    }
+    if (changed) schedule.RecomputeTimes();
+  }
   if (span.enabled()) {
+    if (ctx.speed_floor > 0.0) {
+      span.AddArg(obs::NumArg("speed_floor", ctx.speed_floor));
+    }
     span.AddArg(obs::IntArg(
         "paths", static_cast<std::int64_t>(stats.path_count)));
   }

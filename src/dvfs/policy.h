@@ -41,6 +41,14 @@ struct PolicyContext {
   const ctg::BranchProbabilities* probs = nullptr;
   StretchOptions stretch;
   NlpOptions nlp;
+  /// Speed-floor clamp applied by Policy::Apply *after* the concrete
+  /// stretcher: every task's speed ratio is raised to at least this
+  /// value (then quantized by the PE) and the schedule times are
+  /// recomputed. 0 disables the clamp. The degradation ladder sets 1.0
+  /// ("panic to nominal") so a reschedule during an overrun burst never
+  /// voltage-scales into the deadline it is trying to save; raising
+  /// speeds only shortens paths, so a feasible stretch stays feasible.
+  double speed_floor = 0.0;
 };
 
 /// One named stretcher. Implementations are stateless and immutable, so

@@ -1,0 +1,139 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace actg::faults {
+
+namespace {
+
+// Substream tags. Each fault kind draws from its own Fork of the
+// per-instance stream so adding draws to one kind never perturbs the
+// others (the same discipline keeps --jobs counts equivalent).
+constexpr std::uint64_t kOverrunStream = 1;
+constexpr std::uint64_t kDropoutStream = 2;
+constexpr std::uint64_t kLinkStream = 3;
+constexpr std::uint64_t kDriftStream = 4;
+
+}  // namespace
+
+Injector::Injector(const FaultPlan& plan, const ctg::Ctg& graph,
+                   const arch::Platform& platform, std::uint64_t seed)
+    : plan_(plan),
+      graph_(&graph),
+      platform_(&platform),
+      root_(plan.seed != 0 ? plan.seed : seed) {
+  plan_.Validate().ThrowIfError();
+  ACTG_CHECK(platform.pe_count() <= 64,
+             "faults::Injector: the PE dropout mask supports at most 64 "
+             "PEs");
+}
+
+double Injector::Effective(double probability) const {
+  return std::min(1.0, probability * plan_.intensity);
+}
+
+std::uint64_t Injector::DropoutStarts(std::size_t instance) const {
+  const double p = Effective(plan_.dropout.probability);
+  if (p <= 0.0) return 0;
+  util::Random rng = root_.Fork(instance).Fork(kDropoutStream);
+  std::uint64_t mask = 0;
+  for (std::size_t pe = 0; pe < platform_->pe_count(); ++pe) {
+    if (rng.Bernoulli(p)) mask |= 1ULL << pe;
+  }
+  return mask;
+}
+
+bool Injector::LinkStart(std::size_t instance) const {
+  const double p = Effective(plan_.link.probability);
+  if (p <= 0.0) return false;
+  util::Random rng = root_.Fork(instance).Fork(kLinkStream);
+  return rng.Bernoulli(p);
+}
+
+InstanceFaults Injector::ForInstance(std::size_t instance) const {
+  InstanceFaults faults;
+  if (plan_.Empty()) return faults;
+
+  // Execution-time overruns: one independent draw per task. Tasks that
+  // end up inactive under the instance's assignment simply waste their
+  // draw — drawing unconditionally keeps the realization independent of
+  // the (drift-perturbed) branch decisions.
+  const double overrun_p = Effective(plan_.overrun.probability);
+  if (overrun_p > 0.0) {
+    util::Random rng = root_.Fork(instance).Fork(kOverrunStream);
+    for (std::size_t t = 0; t < graph_->task_count(); ++t) {
+      double factor = 1.0;
+      if (rng.Bernoulli(overrun_p)) {
+        factor = rng.Uniform(plan_.overrun.min_factor,
+                             plan_.overrun.max_factor);
+      }
+      if (factor > 1.0 && faults.task_time_factor.empty()) {
+        faults.task_time_factor.assign(graph_->task_count(), 1.0);
+      }
+      if (!faults.task_time_factor.empty()) {
+        faults.task_time_factor[t] = factor;
+      }
+    }
+    faults.any |= !faults.task_time_factor.empty();
+  }
+
+  // Transient windows: a fault covers instance i when it *started* at
+  // any j in (i - duration, i]. Start events are drawn from instance
+  // j's own substream, so coverage needs no carried state.
+  if (plan_.dropout.probability > 0.0) {
+    const std::size_t span = std::min(plan_.dropout.duration, instance + 1);
+    for (std::size_t back = 0; back < span; ++back) {
+      faults.failed_pes |= DropoutStarts(instance - back);
+    }
+    // Never drop the whole platform: a fully failed mask would leave no
+    // PE to execute or migrate to, which is outside the model (that is
+    // an outage, not a degradation).
+    const std::uint64_t all =
+        platform_->pe_count() >= 64
+            ? ~0ULL
+            : ((1ULL << platform_->pe_count()) - 1);
+    if (faults.failed_pes == all) {
+      faults.failed_pes &= all >> 1;  // highest-index PE survives
+    }
+    if (faults.failed_pes != 0) {
+      faults.rerun_penalty = plan_.dropout.rerun_penalty;
+      faults.any = true;
+    }
+  }
+  if (plan_.link.probability > 0.0) {
+    const std::size_t span = std::min(plan_.link.duration, instance + 1);
+    for (std::size_t back = 0; back < span; ++back) {
+      if (LinkStart(instance - back)) {
+        faults.comm_time_factor = 1.0 / plan_.link.bandwidth_factor;
+        faults.any |= faults.comm_time_factor > 1.0;
+        break;
+      }
+    }
+  }
+  return faults;
+}
+
+void Injector::ApplyDrift(std::size_t instance,
+                          ctg::BranchAssignment& assignment) const {
+  const double max_flip = Effective(plan_.drift.max_flip_probability);
+  if (max_flip <= 0.0) return;
+  const double ramp =
+      std::min(1.0, static_cast<double>(instance + 1) /
+                        static_cast<double>(plan_.drift.ramp_instances));
+  const double flip_p = max_flip * ramp;
+  util::Random rng = root_.Fork(instance).Fork(kDriftStream);
+  for (TaskId fork : graph_->ForkIds()) {
+    const int outcome = assignment.Get(fork);
+    const int arity = graph_->OutcomeCount(fork);
+    // Fixed two draws per fork whether or not it flips, so the
+    // realization at later forks never depends on earlier outcomes.
+    const bool flip = rng.Bernoulli(flip_p);
+    const int other = arity >= 2 ? rng.UniformInt(0, arity - 2) : 0;
+    if (outcome < 0 || !flip || arity < 2) continue;
+    assignment.Set(fork, other >= outcome ? other + 1 : other);
+  }
+}
+
+}  // namespace actg::faults

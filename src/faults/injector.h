@@ -1,0 +1,86 @@
+/// \file injector.h
+/// Deterministic realization of a FaultPlan.
+///
+/// An Injector turns a validated plan into per-instance perturbations.
+/// Determinism contract (mirrors util::Random::Fork and the pool): the
+/// faults of instance i are a pure function of (plan, seed, i) — the
+/// injector keeps no mutable state, so runs split across any number of
+/// workers, executed in any order, or re-executed for one instance in
+/// isolation, all see bit-identical perturbations. Transient windows
+/// (PE dropouts, link degradation lasting several instances) are
+/// resolved by re-drawing the *start* events of the covering instances
+/// from their own substreams instead of carrying state forward.
+
+#ifndef ACTG_FAULTS_INJECTOR_H
+#define ACTG_FAULTS_INJECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/platform.h"
+#include "ctg/condition.h"
+#include "ctg/graph.h"
+#include "faults/plan.h"
+#include "util/rng.h"
+
+namespace actg::faults {
+
+/// The perturbations one CTG instance executes under. Consumed by
+/// sim::ExecuteInstance; an all-defaults (or !any) value is bit-identical
+/// to executing without faults.
+struct InstanceFaults {
+  /// Per-task execution-time multiplier (>= 1); empty means all 1.
+  std::vector<double> task_time_factor;
+  /// Bitmask of PEs that are down for this instance (bit = PeId index).
+  std::uint64_t failed_pes = 0;
+  /// Re-run multiplier applied to tasks placed on a failed PE.
+  double rerun_penalty = 1.0;
+  /// Multiplier on every cross-PE communication time (>= 1).
+  double comm_time_factor = 1.0;
+  /// True when any field deviates from the identity perturbation.
+  bool any = false;
+
+  bool PeFailed(PeId pe) const {
+    return (failed_pes >> pe.index()) & 1ULL;
+  }
+};
+
+/// Stateless fault source bound to one graph/platform pair. The
+/// referenced graph and platform must outlive the injector.
+class Injector {
+ public:
+  /// Validates \p plan (throws actg::InvalidArgument on a bad one; the
+  /// platform must have at most 64 PEs for the dropout mask). The
+  /// effective seed is plan.seed when non-zero, else \p seed.
+  Injector(const FaultPlan& plan, const ctg::Ctg& graph,
+           const arch::Platform& platform, std::uint64_t seed);
+
+  /// Perturbations of instance \p instance. Pure function of
+  /// (plan, seed, instance).
+  InstanceFaults ForInstance(std::size_t instance) const;
+
+  /// Applies the plan's branch-profile drift ramp to \p assignment in
+  /// place (flips resolved fork decisions with the ramped probability).
+  /// Pure function of (plan, seed, instance, assignment).
+  void ApplyDrift(std::size_t instance,
+                  ctg::BranchAssignment& assignment) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// Probability scaled by the plan intensity, clamped to [0, 1].
+  double Effective(double probability) const;
+  /// Mask of PEs whose dropout *starts* at instance \p instance.
+  std::uint64_t DropoutStarts(std::size_t instance) const;
+  /// True when a link-degradation window starts at instance \p instance.
+  bool LinkStart(std::size_t instance) const;
+
+  FaultPlan plan_;
+  const ctg::Ctg* graph_;
+  const arch::Platform* platform_;
+  util::Random root_;
+};
+
+}  // namespace actg::faults
+
+#endif  // ACTG_FAULTS_INJECTOR_H

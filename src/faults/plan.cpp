@@ -1,0 +1,195 @@
+#include "faults/plan.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace actg::faults {
+
+namespace {
+
+bool ProbabilityOk(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+util::Error FaultPlan::Validate() const {
+  if (!(intensity >= 0.0)) {
+    return util::Error::Invalid("FaultPlan: intensity must be >= 0");
+  }
+  if (!ProbabilityOk(overrun.probability)) {
+    return util::Error::Invalid(
+        "FaultPlan: overrun.probability must lie in [0, 1]");
+  }
+  if (!(overrun.min_factor >= 1.0) ||
+      !(overrun.max_factor >= overrun.min_factor)) {
+    return util::Error::Invalid(
+        "FaultPlan: overrun factors need 1 <= min_factor <= max_factor");
+  }
+  if (!ProbabilityOk(dropout.probability)) {
+    return util::Error::Invalid(
+        "FaultPlan: dropout.probability must lie in [0, 1]");
+  }
+  if (dropout.duration == 0) {
+    return util::Error::Invalid("FaultPlan: dropout.duration must be > 0");
+  }
+  if (!(dropout.rerun_penalty >= 1.0)) {
+    return util::Error::Invalid(
+        "FaultPlan: dropout.rerun_penalty must be >= 1");
+  }
+  if (!ProbabilityOk(link.probability)) {
+    return util::Error::Invalid(
+        "FaultPlan: link.probability must lie in [0, 1]");
+  }
+  if (!(link.bandwidth_factor > 0.0) || link.bandwidth_factor > 1.0) {
+    return util::Error::Invalid(
+        "FaultPlan: link.bandwidth_factor must lie in (0, 1]");
+  }
+  if (link.duration == 0) {
+    return util::Error::Invalid("FaultPlan: link.duration must be > 0");
+  }
+  if (!ProbabilityOk(drift.max_flip_probability)) {
+    return util::Error::Invalid(
+        "FaultPlan: drift.max_flip_probability must lie in [0, 1]");
+  }
+  if (drift.ramp_instances == 0) {
+    return util::Error::Invalid(
+        "FaultPlan: drift.ramp_instances must be > 0");
+  }
+  return {};
+}
+
+bool FaultPlan::Empty() const {
+  if (intensity <= 0.0) return true;
+  return overrun.probability <= 0.0 && dropout.probability <= 0.0 &&
+         link.probability <= 0.0 && drift.max_flip_probability <= 0.0;
+}
+
+namespace {
+
+/// Line-oriented reader mirroring io/text_format: '#' starts a comment,
+/// blank lines are skipped, failures carry the line number.
+struct PlanReader {
+  std::istream& is;
+  int line_number = 0;
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw InvalidArgument("fault_plan line " +
+                          std::to_string(line_number) + ": " + message);
+  }
+
+  bool NextTokens(std::vector<std::string>& tokens) {
+    std::string line;
+    while (std::getline(is, line)) {
+      ++line_number;
+      if (const auto hash = line.find('#'); hash != std::string::npos) {
+        line.erase(hash);
+      }
+      std::istringstream split(line);
+      tokens.clear();
+      for (std::string tok; split >> tok;) tokens.push_back(tok);
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  }
+
+  double Number(const std::string& token) const {
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(token, &used);
+    } catch (const std::exception&) {
+      Fail("expected a number, got '" + token + "'");
+    }
+    if (used != token.size()) Fail("trailing garbage in '" + token + "'");
+    return value;
+  }
+
+  std::size_t Count(const std::string& token) const {
+    const double value = Number(token);
+    if (value < 0.0 || value != static_cast<std::size_t>(value)) {
+      Fail("expected a non-negative integer, got '" + token + "'");
+    }
+    return static_cast<std::size_t>(value);
+  }
+};
+
+FaultPlan ParseFaultPlanImpl(std::istream& is) {
+  PlanReader reader{is};
+  std::vector<std::string> tokens;
+  if (!reader.NextTokens(tokens) || tokens.size() != 2 ||
+      tokens[0] != "faults" || tokens[1] != "v1") {
+    reader.Fail("expected header 'faults v1'");
+  }
+  FaultPlan plan;
+  while (reader.NextTokens(tokens)) {
+    const std::string& directive = tokens[0];
+    if (directive == "end") {
+      plan.Validate().ThrowIfError();
+      return plan;
+    }
+    if (directive == "intensity") {
+      if (tokens.size() != 2) reader.Fail("intensity needs <scale>");
+      plan.intensity = reader.Number(tokens[1]);
+    } else if (directive == "seed") {
+      if (tokens.size() != 2) reader.Fail("seed needs <uint64>");
+      plan.seed = static_cast<std::uint64_t>(reader.Count(tokens[1]));
+    } else if (directive == "overrun") {
+      if (tokens.size() != 4) {
+        reader.Fail("overrun needs <prob> <min_factor> <max_factor>");
+      }
+      plan.overrun.probability = reader.Number(tokens[1]);
+      plan.overrun.min_factor = reader.Number(tokens[2]);
+      plan.overrun.max_factor = reader.Number(tokens[3]);
+    } else if (directive == "dropout") {
+      if (tokens.size() != 4) {
+        reader.Fail("dropout needs <prob> <duration> <rerun_penalty>");
+      }
+      plan.dropout.probability = reader.Number(tokens[1]);
+      plan.dropout.duration = reader.Count(tokens[2]);
+      plan.dropout.rerun_penalty = reader.Number(tokens[3]);
+    } else if (directive == "link") {
+      if (tokens.size() != 4) {
+        reader.Fail("link needs <prob> <bandwidth_factor> <duration>");
+      }
+      plan.link.probability = reader.Number(tokens[1]);
+      plan.link.bandwidth_factor = reader.Number(tokens[2]);
+      plan.link.duration = reader.Count(tokens[3]);
+    } else if (directive == "drift") {
+      if (tokens.size() != 3) {
+        reader.Fail("drift needs <max_flip_prob> <ramp_instances>");
+      }
+      plan.drift.max_flip_probability = reader.Number(tokens[1]);
+      plan.drift.ramp_instances = reader.Count(tokens[2]);
+    } else {
+      reader.Fail("unknown directive '" + directive + "'");
+    }
+  }
+  reader.Fail("missing 'end'");
+}
+
+}  // namespace
+
+util::Expected<FaultPlan> ParseFaultPlan(std::istream& is) {
+  try {
+    return ParseFaultPlanImpl(is);
+  } catch (const InvalidArgument& e) {
+    return util::Error::Invalid(e.what());
+  }
+}
+
+void WriteFaultPlan(std::ostream& os, const FaultPlan& plan) {
+  os << "faults v1\n";
+  os << "intensity " << plan.intensity << "\n";
+  if (plan.seed != 0) os << "seed " << plan.seed << "\n";
+  os << "overrun " << plan.overrun.probability << " "
+     << plan.overrun.min_factor << " " << plan.overrun.max_factor << "\n";
+  os << "dropout " << plan.dropout.probability << " "
+     << plan.dropout.duration << " " << plan.dropout.rerun_penalty << "\n";
+  os << "link " << plan.link.probability << " "
+     << plan.link.bandwidth_factor << " " << plan.link.duration << "\n";
+  os << "drift " << plan.drift.max_flip_probability << " "
+     << plan.drift.ramp_instances << "\n";
+  os << "end\n";
+}
+
+}  // namespace actg::faults

@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "util/error.h"
@@ -124,6 +125,7 @@ ctg::Ctg ParseCtgImpl(std::istream& is) {
   ctg::CtgBuilder builder;
   int task_count = 0;
   double deadline = 0.0;
+  std::unordered_set<std::string> task_names;
   const auto task_id = [&](const std::string& token) {
     const int index = reader.Integer(token);
     if (index < 0 || index >= task_count) {
@@ -145,6 +147,9 @@ ctg::Ctg ParseCtgImpl(std::istream& is) {
       if (deadline <= 0.0) reader.Fail("deadline must be positive");
     } else if (directive == "task") {
       if (tokens.size() != 3) reader.Fail("task needs <name> <and|or>");
+      if (!task_names.insert(tokens[1]).second) {
+        reader.Fail("duplicate task name '" + tokens[1] + "'");
+      }
       if (tokens[2] == "or") {
         builder.AddOrTask(tokens[1]);
       } else if (tokens[2] == "and") {
@@ -189,8 +194,6 @@ util::Expected<ctg::Ctg> ParseCtg(std::istream& is) {
     return util::Error::Invalid(e.what());
   }
 }
-
-ctg::Ctg ReadCtg(std::istream& is) { return ParseCtg(is).value(); }
 
 void WritePlatform(std::ostream& os, const arch::Platform& platform) {
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
@@ -309,10 +312,6 @@ util::Expected<arch::Platform> ParsePlatform(std::istream& is) {
   } catch (const InvalidArgument& e) {
     return util::Error::Invalid(e.what());
   }
-}
-
-arch::Platform ReadPlatform(std::istream& is) {
-  return ParsePlatform(is).value();
 }
 
 }  // namespace actg::io

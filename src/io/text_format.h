@@ -22,7 +22,8 @@
 ///   link <a> <b> <bandwidth_kb_per_ms> <tx_energy_mj_per_kb>
 ///   end
 ///
-/// Task and PE names must not contain whitespace.
+/// Task and PE names must not contain whitespace, and task names must
+/// be unique within one graph.
 
 #ifndef ACTG_IO_TEXT_FORMAT_H
 #define ACTG_IO_TEXT_FORMAT_H
@@ -46,22 +47,12 @@ void WriteCtg(std::ostream& os, const ctg::Ctg& graph);
 /// CtgBuilder.
 util::Expected<ctg::Ctg> ParseCtg(std::istream& is);
 
-/// \deprecated Exception-throwing alias of ParseCtg (kept for source
-/// compatibility); new code should call ParseCtg and inspect the
-/// result. Throws actg::InvalidArgument on malformed input.
-ctg::Ctg ReadCtg(std::istream& is);
-
 /// Serializes \p platform.
 void WritePlatform(std::ostream& os, const arch::Platform& platform);
 
 /// Parses a platform; malformed input is reported as a util::Error
 /// with a "text_format line N: ..." diagnostic.
 util::Expected<arch::Platform> ParsePlatform(std::istream& is);
-
-/// \deprecated Exception-throwing alias of ParsePlatform; new code
-/// should call ParsePlatform and inspect the result. Throws
-/// actg::InvalidArgument on malformed input.
-arch::Platform ReadPlatform(std::istream& is);
 
 }  // namespace actg::io
 

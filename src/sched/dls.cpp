@@ -63,6 +63,10 @@ util::Error DlsOptions::Validate() const {
       }
     }
   }
+  if (available_pes.removed_bits() == ~0ULL) {
+    return util::Error::Invalid(
+        "DlsOptions: available_pes must leave at least one PE");
+  }
   return {};
 }
 
@@ -95,6 +99,8 @@ Schedule RunDls(const ctg::Ctg& graph,
     ACTG_CHECK(options.fixed_mapping->size() == n,
                "fixed_mapping must assign a PE to every task");
   }
+  ACTG_CHECK(options.available_pes.CountAvailable(platform.pe_count()) > 0,
+             "available_pes masks out every PE of the platform");
 
   DlsWorkspace local_workspace;
   DlsWorkspace& ws = workspace != nullptr ? *workspace : local_workspace;
@@ -173,8 +179,9 @@ Schedule RunDls(const ctg::Ctg& graph,
     for (TaskId task : ready_list) {
       const double avg_wcet = platform.AverageWcet(task);
       for (PeId pe : platform.PeIds()) {
-        if (options.fixed_mapping != nullptr &&
-            (*options.fixed_mapping)[task.index()] != pe) {
+        if (options.fixed_mapping != nullptr) {
+          if ((*options.fixed_mapping)[task.index()] != pe) continue;
+        } else if (!options.available_pes.Contains(pe)) {
           continue;
         }
         const double at = earliest_start(task, pe);

@@ -39,10 +39,15 @@ struct DlsOptions {
   /// which orders and stretches tasks on a *given* mapping ("tasks that
   /// are mapped to the same processor are ordered for a maximum slack").
   const std::vector<PeId>* fixed_mapping = nullptr;
+  /// PE availability: masked-out PEs (e.g. dropped-out ones the
+  /// degradation ladder excludes) receive no task. Ignored when a
+  /// fixed_mapping pins the placement. Default: every PE available.
+  arch::PeMask available_pes;
 
   /// Ok when the options are usable: a fixed mapping, when given, must
   /// be non-empty and assign only valid PE ids (RunDls additionally
-  /// checks it covers every task of the graph it is handed).
+  /// checks it covers every task of the graph it is handed), and the
+  /// availability mask must not remove every PE RunDls could use.
   util::Error Validate() const;
 };
 

@@ -10,6 +10,12 @@ namespace actg::sim {
 
 InstanceResult ExecuteInstance(const sched::Schedule& schedule,
                                const ctg::BranchAssignment& assignment) {
+  return ExecuteInstance(schedule, assignment, nullptr);
+}
+
+InstanceResult ExecuteInstance(const sched::Schedule& schedule,
+                               const ctg::BranchAssignment& assignment,
+                               const faults::InstanceFaults* faults) {
   const ctg::Ctg& graph = schedule.graph();
   const ctg::ActivationAnalysis& analysis = schedule.analysis();
   const std::size_t n = graph.task_count();
@@ -45,13 +51,32 @@ InstanceResult ExecuteInstance(const sched::Schedule& schedule,
   }
   ACTG_ASSERT(order.size() == n, "scheduled DAG contains a cycle");
 
+  const bool faulted = faults != nullptr && faults->any;
+  result.faults_injected = faulted;
+
   std::vector<double> ready(n, 0.0);
   std::vector<double> finish(n, 0.0);
   for (const TaskId u : order) {
     if (!active[u.index()]) continue;
+    // Fault effects multiply the scheduled execution time: the drawn
+    // overrun factor, plus the re-run penalty when the task's PE is in
+    // this instance's failed set. Energy scales with the same factor
+    // (cycles grow, the voltage of the placement does not).
+    double factor = 1.0;
+    if (faulted) {
+      if (!faults->task_time_factor.empty()) {
+        factor = faults->task_time_factor[u.index()];
+      }
+      if (faults->PeFailed(schedule.placement(u).pe)) {
+        factor *= faults->rerun_penalty;
+        ++result.failed_pe_hits;
+      }
+    }
+    const double scaled_wcet = schedule.ScaledWcet(u);
     const double start = ready[u.index()];
-    finish[u.index()] = start + schedule.ScaledWcet(u);
-    result.energy_mj += schedule.ScaledEnergy(u);
+    finish[u.index()] = start + scaled_wcet * factor;
+    result.energy_mj += schedule.ScaledEnergy(u) * factor;
+    if (factor > 1.0) result.overrun_ms += scaled_wcet * (factor - 1.0);
     result.makespan_ms = std::max(result.makespan_ms, finish[u.index()]);
     for (const auto& [dst, eid] : adj[u.index()]) {
       if (!active[dst.index()]) continue;
@@ -62,7 +87,9 @@ InstanceResult ExecuteInstance(const sched::Schedule& schedule,
             assignment.Get(e.condition->fork) != e.condition->outcome) {
           continue;  // edge not taken in this instance
         }
-        arrival += schedule.EdgeCommTime(*eid);
+        double comm = schedule.EdgeCommTime(*eid);
+        if (faulted) comm *= faults->comm_time_factor;
+        arrival += comm;
         result.energy_mj += schedule.EdgeCommEnergy(*eid);
       }
       ready[dst.index()] = std::max(ready[dst.index()], arrival);
@@ -82,8 +109,21 @@ InstanceResult ExecuteInstance(const sched::Schedule& schedule,
 void RunSummary::Add(const InstanceResult& r) {
   ++instances;
   total_energy_mj += r.energy_mj;
-  if (!r.deadline_met) ++deadline_misses;
+  if (!r.deadline_met) {
+    ++deadline_misses;
+    runtime::Metrics::Global().Increment("sim.deadline_misses");
+  }
   max_makespan_ms = std::max(max_makespan_ms, r.makespan_ms);
+  total_overrun_ms += r.overrun_ms;
+  if (r.overrun_ms > 0.0) {
+    ++overrun_instances;
+    runtime::Metrics::Global().Increment("sim.overrun_instances");
+  }
+  failed_pe_hits += r.failed_pe_hits;
+  if (r.faults_injected) {
+    ++faulted_instances;
+    runtime::Metrics::Global().Increment("faults.injected_instances");
+  }
 }
 
 RunSummary RunTrace(const sched::Schedule& schedule,
@@ -98,6 +138,27 @@ RunSummary RunTrace(const sched::Schedule& schedule,
   RunSummary summary;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     summary.Add(ExecuteInstance(schedule, trace.At(i)));
+  }
+  return summary;
+}
+
+RunSummary RunTraceWithFaults(const sched::Schedule& schedule,
+                              const trace::BranchTrace& trace,
+                              const faults::Injector& injector) {
+  const runtime::ScopedTimer stage_timer(runtime::Metrics::Global(),
+                                         "stage.sim");
+  obs::ScopedSpan span(obs::TraceSession::Current(), "sim.run", "sim");
+  if (span.enabled()) {
+    span.AddArg(obs::IntArg(
+        "instances", static_cast<std::int64_t>(trace.size())));
+    span.AddArg(obs::StrArg("faults", "injected"));
+  }
+  RunSummary summary;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const faults::InstanceFaults f = injector.ForInstance(i);
+    ctg::BranchAssignment assignment = trace.At(i);
+    injector.ApplyDrift(i, assignment);
+    summary.Add(ExecuteInstance(schedule, assignment, &f));
   }
   return summary;
 }

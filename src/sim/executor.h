@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ctg/condition.h"
+#include "faults/injector.h"
 #include "sched/schedule.h"
 #include "trace/trace.h"
 
@@ -28,11 +29,29 @@ struct InstanceResult {
   bool deadline_met = true;
   /// Number of tasks activated by this instance.
   std::size_t active_tasks = 0;
+  /// Execution time consumed beyond the scheduled (stretched) WCETs by
+  /// injected overruns and re-runs, ms. Zero without fault injection.
+  double overrun_ms = 0.0;
+  /// Active tasks that executed on a PE flagged as failed (and paid the
+  /// re-run penalty) this instance.
+  std::size_t failed_pe_hits = 0;
+  /// True when any fault effect was applied to this instance.
+  bool faults_injected = false;
 };
 
 /// Executes one instance of the schedule under \p assignment.
 InstanceResult ExecuteInstance(const sched::Schedule& schedule,
                                const ctg::BranchAssignment& assignment);
+
+/// Executes one instance with fault effects applied: per-task execution
+/// times (and dynamic energy, which scales with cycles at a fixed
+/// voltage) are multiplied by the drawn overrun factors, tasks placed on
+/// a failed PE pay the re-run penalty, and inter-PE communication is
+/// inflated by the link-degradation factor. A null \p faults (or one
+/// with no effect) reproduces the fault-free result bit for bit.
+InstanceResult ExecuteInstance(const sched::Schedule& schedule,
+                               const ctg::BranchAssignment& assignment,
+                               const faults::InstanceFaults* faults);
 
 /// Aggregate of a whole trace run.
 struct RunSummary {
@@ -40,10 +59,20 @@ struct RunSummary {
   double total_energy_mj = 0.0;
   std::size_t deadline_misses = 0;
   double max_makespan_ms = 0.0;
+  /// Fault-detection aggregates; all stay zero without injection.
+  double total_overrun_ms = 0.0;
+  std::size_t overrun_instances = 0;
+  std::size_t failed_pe_hits = 0;
+  std::size_t faulted_instances = 0;
 
   double AverageEnergy() const {
     return instances == 0 ? 0.0
                           : total_energy_mj /
+                                static_cast<double>(instances);
+  }
+  double MissRate() const {
+    return instances == 0 ? 0.0
+                          : static_cast<double>(deadline_misses) /
                                 static_cast<double>(instances);
   }
   void Add(const InstanceResult& r);
@@ -53,6 +82,14 @@ struct RunSummary {
 /// non-adaptive / "online" configuration of Section IV).
 RunSummary RunTrace(const sched::Schedule& schedule,
                     const trace::BranchTrace& trace);
+
+/// RunTrace under fault injection: each instance executes with
+/// \p injector's effects for that index, after branch-profile drift is
+/// applied to a copy of the traced assignment. With an empty plan the
+/// summary equals RunTrace's bit for bit.
+RunSummary RunTraceWithFaults(const sched::Schedule& schedule,
+                              const trace::BranchTrace& trace,
+                              const faults::Injector& injector);
 
 /// Converts a scenario minterm into a full branch assignment (forks the
 /// scenario leaves unresolved stay unset; they are inactive and their

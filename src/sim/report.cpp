@@ -74,13 +74,18 @@ namespace {
 
 /// Counter snapshot with the health counters callers watch for always
 /// materialized: guard.dnf_fallbacks stays visible (as 0) even when the
-/// bitset guard algebra never fell back, so its absence is never
-/// mistaken for "not measured".
+/// bitset guard algebra never fell back, and the miss/overrun/fault and
+/// degradation counters stay visible (as 0) on clean runs, so their
+/// absence is never mistaken for "not measured".
 std::map<std::string, std::uint64_t> ReportedCounters(
     const runtime::Metrics& metrics) {
   auto counters = metrics.Counters();
-  counters.try_emplace("guard.dnf_fallbacks",
-                       metrics.counter("guard.dnf_fallbacks"));
+  for (const char* name :
+       {"guard.dnf_fallbacks", "sim.deadline_misses",
+        "sim.overrun_instances", "faults.injected_instances",
+        "degrade.escalations"}) {
+    counters.try_emplace(name, metrics.counter(name));
+  }
   return counters;
 }
 

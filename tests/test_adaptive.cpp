@@ -161,6 +161,34 @@ TEST_F(AdaptiveFixture, MaxThresholdDegeneratesToOnlineAlgorithm) {
   EXPECT_NEAR(adaptive_energy, online_energy, 1e-9);
 }
 
+TEST_F(AdaptiveFixture, UnitThresholdIsANeverAdaptSentinel) {
+  // Regression for the threshold == 1.0 boundary. The drift detector's
+  // distance is a maximum of absolute probability differences, so it
+  // never exceeds 1.0 and the strict comparison `distance > threshold`
+  // makes 1.0 a documented never-adapt sentinel. Pin that with the
+  // largest distance the detector can produce: an in-use profile
+  // certain of outcome 0 driven by a window of pure outcome 1, giving
+  // distance exactly 1.0.
+  ctg::BranchProbabilities certain(ex_.graph.task_count());
+  certain.Set(ex_.tau(3), {1.0, 0.0});
+  certain.Set(ex_.tau(5), {1.0, 0.0});
+  AdaptiveOptions options;
+  options.window_length = 4;
+
+  options.threshold = 1.0;
+  AdaptiveController sentinel(ex_.graph, analysis_, ex_.platform,
+                              certain, options);
+  for (int i = 0; i < 20; ++i) sentinel.ProcessInstance(Assign(1, 1));
+  EXPECT_EQ(sentinel.reschedule_count(), 0u);
+
+  // Any threshold strictly below 1.0 fires on the same drive.
+  options.threshold = 0.99;
+  AdaptiveController firing(ex_.graph, analysis_, ex_.platform, certain,
+                            options);
+  for (int i = 0; i < 20; ++i) firing.ProcessInstance(Assign(1, 1));
+  EXPECT_GE(firing.reschedule_count(), 1u);
+}
+
 TEST_F(AdaptiveFixture, CandidateAdoptionNeverRaisesExpectedEnergy) {
   // After any re-schedule, the controller's current schedule must be at
   // least as good as a freshly built one under its own in-use estimate

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "apps/cruise.h"
 #include "apps/fig1_example.h"
@@ -69,7 +74,7 @@ TEST(CtgRoundTrip, Fig1Example) {
   const apps::Fig1Example ex = apps::MakeFig1Example();
   std::stringstream buffer;
   WriteCtg(buffer, ex.graph);
-  const ctg::Ctg parsed = ReadCtg(buffer);
+  const ctg::Ctg parsed = ParseCtg(buffer).value();
   ExpectGraphsEqual(ex.graph, parsed);
   // The round-tripped graph supports the same analysis.
   const ctg::ActivationAnalysis analysis(parsed);
@@ -82,7 +87,7 @@ TEST(CtgRoundTrip, MpegAndCruise) {
                                    : apps::MakeCruiseModel().graph;
     std::stringstream buffer;
     WriteCtg(buffer, original);
-    ExpectGraphsEqual(original, ReadCtg(buffer));
+    ExpectGraphsEqual(original, ParseCtg(buffer).value());
   }
 }
 
@@ -95,7 +100,7 @@ TEST(CtgRoundTrip, RandomGraphSweep) {
     const tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
     std::stringstream buffer;
     WriteCtg(buffer, rc.graph);
-    ExpectGraphsEqual(rc.graph, ReadCtg(buffer));
+    ExpectGraphsEqual(rc.graph, ParseCtg(buffer).value());
   }
 }
 
@@ -103,7 +108,8 @@ TEST(PlatformRoundTrip, MpegPlatformWithLevels) {
   const apps::MpegModel model = apps::MakeMpegModel();
   std::stringstream buffer;
   WritePlatform(buffer, model.platform);
-  ExpectPlatformsEqual(model.platform, ReadPlatform(buffer));
+  ExpectPlatformsEqual(model.platform,
+                       ParsePlatform(buffer).value());
 }
 
 TEST(PlatformRoundTrip, DiscreteLevelsSurvive) {
@@ -117,7 +123,7 @@ TEST(PlatformRoundTrip, DiscreteLevelsSurvive) {
   const arch::Platform original = std::move(builder).Build();
   std::stringstream buffer;
   WritePlatform(buffer, original);
-  ExpectPlatformsEqual(original, ReadPlatform(buffer));
+  ExpectPlatformsEqual(original, ParsePlatform(buffer).value());
 }
 
 TEST(Parsing, CommentsAndBlankLinesIgnored) {
@@ -129,7 +135,7 @@ task b or
 edge 0 1 4.5 -
 end
 )");
-  const ctg::Ctg graph = ReadCtg(buffer);
+  const ctg::Ctg graph = ParseCtg(buffer).value();
   EXPECT_EQ(graph.task_count(), 2u);
   EXPECT_EQ(graph.task(TaskId{1}).join, ctg::JoinType::kOr);
   EXPECT_DOUBLE_EQ(graph.edge(EdgeId{0}).comm_kbytes, 4.5);
@@ -138,7 +144,7 @@ end
 TEST(Parsing, ErrorsCarryLineNumbers) {
   std::stringstream buffer("ctg v1\ntask a and\nedge 0 9 1.0 -\nend\n");
   try {
-    ReadCtg(buffer);
+    ParseCtg(buffer).value();
     FAIL() << "expected a throw";
   } catch (const InvalidArgument& e) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
@@ -157,7 +163,7 @@ TEST(Parsing, RejectsMalformedInput) {
   };
   for (const char* text : cases) {
     std::stringstream buffer(text);
-    EXPECT_THROW(ReadCtg(buffer), InvalidArgument) << text;
+    EXPECT_THROW(ParseCtg(buffer).value(), InvalidArgument) << text;
   }
 }
 
@@ -171,7 +177,7 @@ TEST(Parsing, RejectsMalformedPlatform) {
   };
   for (const char* text : cases) {
     std::stringstream buffer(text);
-    EXPECT_THROW(ReadPlatform(buffer), InvalidArgument) << text;
+    EXPECT_THROW(ParsePlatform(buffer).value(), InvalidArgument) << text;
   }
 }
 
@@ -190,16 +196,93 @@ TEST(ExpectedParsing, ParsePlatformReportsErrorsAsValues) {
   EXPECT_FALSE(result.error().message().empty());
 }
 
-TEST(ExpectedParsing, ParseMatchesDeprecatedReaders) {
+TEST(ExpectedParsing, ParseIsDeterministic) {
   const apps::Fig1Example ex = apps::MakeFig1Example();
   std::ostringstream out;
   WriteCtg(out, ex.graph);
-  std::istringstream via_parse_in(out.str());
-  std::istringstream via_read_in(out.str());
-  const util::Expected<ctg::Ctg> parsed = ParseCtg(via_parse_in);
+  std::istringstream first_in(out.str());
+  std::istringstream second_in(out.str());
+  const util::Expected<ctg::Ctg> parsed = ParseCtg(first_in);
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed.error().ok());
-  ExpectGraphsEqual(parsed.value(), ReadCtg(via_read_in));
+  ExpectGraphsEqual(parsed.value(), ParseCtg(second_in).value());
+}
+
+// ---------------------------------------------------------------------
+// Malformed-input corpus. Every file under tests/corpus/io must fail to
+// parse, and its first line pins the diagnostic:
+//
+//   # expect: <substring of the error message>
+//
+// Files named ctg_* go through ParseCtg, platform_* through
+// ParsePlatform. Adding a regression is dropping a file in the
+// directory - no code change needed.
+
+struct CorpusCase {
+  std::filesystem::path path;
+  std::string expect;
+  std::string contents;
+};
+
+std::vector<CorpusCase> LoadCorpus() {
+  const std::filesystem::path dir =
+      std::filesystem::path(ACTG_TEST_CORPUS_DIR) / "io";
+  std::vector<CorpusCase> cases;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    CorpusCase c;
+    c.path = entry.path();
+    std::ifstream in(c.path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    c.contents = buffer.str();
+    const std::string marker = "# expect: ";
+    const std::size_t line_end = c.contents.find('\n');
+    std::string first = c.contents.substr(
+        0, line_end == std::string::npos ? c.contents.size() : line_end);
+    if (first.rfind(marker, 0) == 0) c.expect = first.substr(marker.size());
+    cases.push_back(std::move(c));
+  }
+  std::sort(cases.begin(), cases.end(),
+            [](const CorpusCase& a, const CorpusCase& b) {
+              return a.path.filename() < b.path.filename();
+            });
+  return cases;
+}
+
+TEST(MalformedCorpus, EveryFileIsRejectedWithItsPinnedDiagnostic) {
+  const std::vector<CorpusCase> cases = LoadCorpus();
+  ASSERT_GE(cases.size(), 10u) << "corpus went missing";
+  for (const CorpusCase& c : cases) {
+    SCOPED_TRACE(c.path.filename().string());
+    ASSERT_FALSE(c.expect.empty())
+        << "corpus file lacks a '# expect: <substring>' first line";
+    const std::string name = c.path.filename().string();
+    std::istringstream in(c.contents);
+    util::Error error;
+    if (name.rfind("ctg_", 0) == 0) {
+      error = ParseCtg(in).error();
+    } else if (name.rfind("platform_", 0) == 0) {
+      error = ParsePlatform(in).error();
+    } else {
+      FAIL() << "corpus files must be named ctg_* or platform_*";
+    }
+    EXPECT_FALSE(error.ok()) << "malformed input parsed successfully";
+    EXPECT_NE(error.message().find(c.expect), std::string::npos)
+        << "diagnostic was: " << error.message();
+  }
+}
+
+TEST(MalformedCorpus, DuplicateTaskNamesAreRejected) {
+  std::istringstream in(
+      "ctg v1\ntask a and\ntask b and\ntask a or\nend\n");
+  const util::Error error = ParseCtg(in).error();
+  ASSERT_FALSE(error.ok());
+  EXPECT_NE(error.message().find("duplicate task name 'a'"),
+            std::string::npos)
+      << error.message();
+  EXPECT_NE(error.message().find("line 4"), std::string::npos)
+      << error.message();
 }
 
 }  // namespace

@@ -51,7 +51,12 @@ TEST(Smoke, CruiseAdaptive) {
   auto trace = apps::GenerateRoadTrace(m, 1, 500, 42);
   auto probs = trace.ProfiledProbabilities(m.graph);
   adaptive::AdaptiveController ctrl(m.graph, analysis, m.platform, probs,
-                                    adaptive::AdaptiveOptions{20, 0.1, {}, {}});
+                                    [] {
+                                      adaptive::AdaptiveOptions o;
+                                      o.window_length = 20;
+                                      o.threshold = 0.1;
+                                      return o;
+                                    }());
   sim::RunSummary summary = adaptive::RunAdaptive(ctrl, trace);
   EXPECT_EQ(summary.deadline_misses, 0u);
   fprintf(stderr, "cruise adaptive calls=%zu energy=%.1f\n",
