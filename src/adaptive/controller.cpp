@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/validator.h"
 #include "runtime/fingerprint.h"
 #include "runtime/metrics.h"
 #include "sim/energy.h"
@@ -177,6 +178,12 @@ sched::Schedule AdaptiveController::Reschedule(
   ctx.stretch = options_.stretch;
   ctx.speed_floor = speed_floor;
   const dvfs::StretchStats stats = policy_->Apply(*engine_, ctx);
+  if (options_.validate_schedules) {
+    check::Expectations expect;
+    expect.available_pes = available;
+    expect.speed_floor = speed_floor;
+    check::Validate(schedule, expect);
+  }
   if (options_.schedule_cache != nullptr && !degraded) {
     options_.schedule_cache->Insert(
         key, runtime::ScheduleCacheEntry{schedule, stats});

@@ -118,6 +118,15 @@ struct AdaptiveOptions {
   runtime::ScheduleCache* schedule_cache = nullptr;
   /// Graceful-degradation ladder (off by default; see DegradeOptions).
   DegradeOptions degrade;
+  /// Debug oracle: when set, every freshly computed schedule (initial,
+  /// threshold-triggered and degraded reschedules alike) is passed
+  /// through check::Validate with the reschedule's PE mask and speed
+  /// floor as expectations, so an invariant break surfaces at the
+  /// reschedule that introduced it instead of in a downstream result.
+  /// Cached schedules are not re-validated (they were checked when
+  /// computed). Costs one validator pass per reschedule; off by
+  /// default.
+  bool validate_schedules = false;
 
   /// Ok when every knob is usable: window_length must be positive,
   /// threshold must lie in (0, 1], the policy must be registered, and

@@ -1,0 +1,128 @@
+/// \file validator.h
+/// Schedule-invariant oracle (DESIGN.md §11).
+///
+/// Every layer of the pipeline promises invariants — DLS promises
+/// precedence-respecting placements (paper Section III.A), the
+/// mutual-exclusion relation decides when two tasks may share a PE slot
+/// (Section II), the stretchers promise deadlines survive stretching
+/// (Section III/Fig. 2), the simulator promises energy under the
+/// E ∝ σ² model (Section IV). The validator re-derives each promise
+/// *independently* from the primitive graph/analysis/platform data:
+/// it never trusts Schedule::Validate, the precomputed mutex matrix
+/// alone, or the executor's own accumulation. Violations come back as
+/// data (a Report), so the fuzz harness can shrink failing cases; the
+/// throwing Validate() wrappers give tests a one-line oracle call.
+///
+/// Intentional redundancy is the point: where the library computes a
+/// quantity one way, the validator computes it another (DNF guard
+/// algebra cross-checked against the BitGuard form, energy re-integrated
+/// from platform tables, scenario makespans re-derived by a fresh ASAP
+/// pass). Disagreement between the forms is itself a violation.
+
+#ifndef ACTG_CHECK_VALIDATOR_H
+#define ACTG_CHECK_VALIDATOR_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/platform.h"
+#include "ctg/condition.h"
+#include "faults/injector.h"
+#include "sched/schedule.h"
+#include "sim/executor.h"
+
+namespace actg::check {
+
+/// One broken invariant. `rule` is a stable machine-readable identifier
+/// (see the rule list in DESIGN.md §11); `detail` is the human-readable
+/// evidence (which tasks, which times).
+struct Violation {
+  std::string rule;
+  std::string detail;
+};
+
+/// Outcome of one validation pass. Empty == every checked invariant
+/// holds.
+class Report {
+ public:
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// True when some violation carries exactly \p rule.
+  bool Has(std::string_view rule) const;
+
+  void Add(std::string rule, std::string detail);
+  void Merge(const Report& other);
+
+  /// Multi-line human-readable summary ("ok" when empty).
+  std::string ToString() const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+/// Context the caller asserts about a schedule, beyond what the
+/// schedule itself records: which PEs the scheduler was allowed to use,
+/// whether the stretcher claimed deadline feasibility, and any floor
+/// the degradation ladder imposed on speed ratios.
+struct Expectations {
+  /// Masked-out PEs must host no task (DlsOptions::available_pes).
+  arch::PeMask available_pes;
+  /// When true, every execution scenario's independently re-derived
+  /// completion time must stay within the deadline (the stretchers'
+  /// guarantee whenever the nominal schedule was feasible).
+  bool deadline_feasible = false;
+  /// Deadline override in ms; <= 0 means "use the graph's deadline".
+  double deadline_ms = 0.0;
+  /// Every speed ratio must be at least this value (degradation-ladder
+  /// clamp; 0 disables the check).
+  double speed_floor = 0.0;
+};
+
+/// Re-verifies every static invariant of \p schedule:
+///  * placements: valid PE, start >= 0, finish == start + WCET/σ,
+///    σ ∈ (0,1], σ >= PE minimum, σ on a discrete level when the PE has
+///    them, commit order a permutation;
+///  * scheduled DAG acyclic; CTG edges, implied fork -> or-node control
+///    dependencies (re-derived from the analysis, not the schedule's
+///    edge list) and pseudo order edges all respected by the times;
+///  * no PE executes two guard-compatible tasks overlapping; overlap of
+///    mutually exclusive tasks is allowed only when their activation
+///    guards are exclusive under BOTH the DNF algebra and the BitGuard
+///    form (and the two forms must agree with the analysis matrix);
+///  * link transfers fit the link bandwidth, never start before the
+///    producer finishes, and land before the consumer starts; same-PE
+///    transfers take zero time;
+///  * masked PEs host no tasks; speed ratios respect the floor;
+///  * when feasibility is claimed, every scenario's re-derived
+///    completion time meets the deadline (paper Section III).
+Report CheckSchedule(const sched::Schedule& schedule,
+                     const Expectations& expect = {});
+
+/// Re-verifies one executed instance against the schedule: the active
+/// task set is re-derived from the activation guards, the completion
+/// time by a fresh ASAP pass over the scheduled DAG (honoring fault
+/// factors), and the energy by re-integrating task energy under E ∝ σ²
+/// plus unscaled communication energy (voltage scaling never applies to
+/// communication — paper Section II). Reported makespan, energy, active
+/// count, overrun, failed-PE hits and the deadline flag must all match.
+Report CheckInstance(const sched::Schedule& schedule,
+                     const ctg::BranchAssignment& assignment,
+                     const sim::InstanceResult& result,
+                     const faults::InstanceFaults* faults = nullptr);
+
+/// One-line oracle for tests: throws actg::InternalError carrying the
+/// report text when CheckSchedule finds any violation.
+void Validate(const sched::Schedule& schedule,
+              const Expectations& expect = {});
+
+/// Throwing wrapper of CheckInstance.
+void ValidateInstance(const sched::Schedule& schedule,
+                      const ctg::BranchAssignment& assignment,
+                      const sim::InstanceResult& result,
+                      const faults::InstanceFaults* faults = nullptr);
+
+}  // namespace actg::check
+
+#endif  // ACTG_CHECK_VALIDATOR_H

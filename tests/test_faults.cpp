@@ -9,6 +9,7 @@
 #include "adaptive/controller.h"
 #include "apps/common.h"
 #include "apps/fig1_example.h"
+#include "check/validator.h"
 #include "ctg/activation.h"
 #include "experiments.h"
 #include "faults/injector.h"
@@ -236,8 +237,10 @@ TEST_F(InjectorFixture, ExecutorReportsOverrunsAndFailedPeHits) {
   ctg::BranchAssignment assignment(ex_.graph.task_count());
   for (TaskId fork : ex_.graph.ForkIds()) assignment.Set(fork, 0);
 
+  check::Validate(schedule);
   const sim::InstanceResult clean =
       sim::ExecuteInstance(schedule, assignment);
+  check::ValidateInstance(schedule, assignment, clean);
   EXPECT_EQ(clean.overrun_ms, 0.0);
   EXPECT_EQ(clean.failed_pe_hits, 0u);
   EXPECT_FALSE(clean.faults_injected);
@@ -250,6 +253,7 @@ TEST_F(InjectorFixture, ExecutorReportsOverrunsAndFailedPeHits) {
   faults.comm_time_factor = 2.0;
   const sim::InstanceResult hit =
       sim::ExecuteInstance(schedule, assignment, &faults);
+  check::ValidateInstance(schedule, assignment, hit, &faults);
   EXPECT_TRUE(hit.faults_injected);
   EXPECT_GT(hit.overrun_ms, 0.0);
   EXPECT_GT(hit.failed_pe_hits, 0u);

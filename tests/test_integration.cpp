@@ -3,6 +3,7 @@
 #include "adaptive/controller.h"
 #include "apps/common.h"
 #include "apps/cruise.h"
+#include "check/validator.h"
 #include "apps/mpeg.h"
 #include "ctg/activation.h"
 #include "dvfs/algorithms.h"
@@ -169,6 +170,8 @@ TEST(MpegPipeline, FullProtocolRunsCleanly) {
   adaptive::AdaptiveOptions options;
   options.window_length = 20;
   options.threshold = 0.1;
+  // Oracle-check every reschedule the controller performs on the fly.
+  options.validate_schedules = true;
   adaptive::AdaptiveController controller(model.graph, analysis,
                                           model.platform, profile,
                                           options);
@@ -178,6 +181,7 @@ TEST(MpegPipeline, FullProtocolRunsCleanly) {
   EXPECT_EQ(run.deadline_misses, 0u);
   EXPECT_GT(run.total_energy_mj, 0.0);
   controller.current_schedule().Validate();
+  check::Validate(controller.current_schedule());
 }
 
 TEST(CruisePipeline, AdaptiveNeverMissesDeadlines) {
@@ -191,11 +195,13 @@ TEST(CruisePipeline, AdaptiveNeverMissesDeadlines) {
     adaptive::AdaptiveOptions options;
     options.window_length = 20;
     options.threshold = 0.1;
+    options.validate_schedules = true;
     adaptive::AdaptiveController controller(model.graph, analysis,
                                             model.platform, profile,
                                             options);
     const sim::RunSummary run = adaptive::RunAdaptive(controller, vectors);
     EXPECT_EQ(run.deadline_misses, 0u) << "sequence " << sequence;
+    check::Validate(controller.current_schedule());
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include "apps/common.h"
 #include "apps/fig1_example.h"
+#include "check/validator.h"
 #include "ctg/activation.h"
 #include "sched/dls.h"
 #include "sched/static_level.h"
@@ -104,6 +105,7 @@ TEST_F(Fig1Dls, ScheduleValidatesAndCoversAllTasks) {
   const Schedule s =
       RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs);
   s.Validate();
+  check::Validate(s);
   for (TaskId t : ex_.graph.TaskIds()) {
     EXPECT_TRUE(s.placement(t).pe.valid());
     EXPECT_GE(s.placement(t).order_index, 0);
@@ -166,6 +168,8 @@ TEST_F(Fig1Dls, MutexTasksMayOverlapOnOnePe) {
       RunDls(ex_.graph, analysis_, single, ex_.probs, blind);
   aware.Validate();
   serial.Validate();
+  check::Validate(aware);
+  check::Validate(serial);
   // Serializing mutually exclusive tasks can only lengthen the schedule.
   EXPECT_LE(aware.Makespan(), serial.Makespan() + 1e-9);
   EXPECT_LT(aware.Makespan(), serial.Makespan() - 1e-9);
@@ -177,6 +181,7 @@ TEST_F(Fig1Dls, FixedMappingIsRespected) {
   options.fixed_mapping = &mapping;
   const Schedule s =
       RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs, options);
+  check::Validate(s);
   for (TaskId t : ex_.graph.TaskIds()) {
     EXPECT_EQ(s.placement(t).pe, PeId{1});
   }
@@ -198,6 +203,7 @@ TEST_F(Fig1Dls, RecomputeTimesIsIdempotent) {
   s.RecomputeTimes();
   EXPECT_NEAR(s.Makespan(), makespan, 1e-9);
   s.Validate();
+  check::Validate(s);
 }
 
 TEST_F(Fig1Dls, ScaledWcetAndEnergyFollowSpeedRatio) {
@@ -234,6 +240,7 @@ TEST_P(DlsSweep, ScheduleIsAlwaysValid) {
   const Schedule s =
       RunDls(rc.graph, analysis, rc.platform, probs, options);
   s.Validate();
+  check::Validate(s);
 
   // Every data dependency is respected with communication delay.
   for (EdgeId eid : rc.graph.EdgeIds()) {
@@ -253,6 +260,72 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(tgff::Category::kForkJoin,
                                          tgff::Category::kFlat),
                        ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// PE-availability mask edge cases
+
+class PeMaskEdge : public ::testing::Test {
+ protected:
+  PeMaskEdge() : ex_(apps::MakeFig1Example()), analysis_(ex_.graph) {}
+  apps::Fig1Example ex_;  // 2-PE platform
+  ctg::ActivationAnalysis analysis_;
+};
+
+TEST_F(PeMaskEdge, MaskingEveryPlatformPeIsACleanError) {
+  // Both PEs of the 2-PE platform removed: the options themselves are
+  // structurally fine (bits beyond the platform exist), so RunDls must
+  // reject the combination with a diagnosable error, not crash or
+  // produce an unplaceable schedule.
+  DlsOptions options;
+  options.available_pes = arch::PeMask().Without(PeId{0}).Without(PeId{1});
+  EXPECT_TRUE(options.Validate().ok());
+  EXPECT_THROW(
+      RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs, options),
+      InvalidArgument);
+}
+
+TEST_F(PeMaskEdge, MaskOfAllSixtyFourBitsFailsOptionValidation) {
+  DlsOptions options;
+  options.available_pes = arch::PeMask::WithoutBits(~0ULL);
+  const util::Error err = options.Validate();
+  EXPECT_FALSE(err.ok());
+  EXPECT_NE(err.message().find("PE"), std::string::npos) << err.message();
+}
+
+TEST_F(PeMaskEdge, SinglePeSurvivorHostsEveryTask) {
+  for (int masked = 0; masked < 2; ++masked) {
+    const PeId survivor{1 - masked};
+    DlsOptions options;
+    options.available_pes = arch::PeMask().Without(PeId{masked});
+    const Schedule s =
+        RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs, options);
+    for (TaskId t : ex_.graph.TaskIds()) {
+      EXPECT_EQ(s.placement(t).pe, survivor) << "task " << t.index();
+    }
+    check::Expectations expect;
+    expect.available_pes = options.available_pes;
+    check::Validate(s, expect);
+    // Single-PE schedules carry no cross-PE transfers.
+    for (EdgeId eid : ex_.graph.EdgeIds()) {
+      EXPECT_NEAR(s.comm(eid).finish_ms - s.comm(eid).start_ms, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(PeMaskEdge, MaskedScheduleNoWorseDetectorFiresOnWrongMask) {
+  // The oracle must catch a schedule that ignored its mask: validate an
+  // unmasked schedule against a mask excluding a PE it used.
+  const Schedule s =
+      RunDls(ex_.graph, analysis_, ex_.platform, ex_.probs);
+  bool uses_pe0 = false;
+  for (TaskId t : ex_.graph.TaskIds()) {
+    uses_pe0 |= s.placement(t).pe == PeId{0};
+  }
+  ASSERT_TRUE(uses_pe0);
+  check::Expectations expect;
+  expect.available_pes = arch::PeMask().Without(PeId{0});
+  EXPECT_TRUE(check::CheckSchedule(s, expect).Has("pe-mask"));
+}
 
 TEST(Deadline, AssignDeadlineScalesNominalMakespan) {
   tgff::RandomCtgParams params;

@@ -4,6 +4,7 @@
 
 #include "apps/common.h"
 #include "apps/fig1_example.h"
+#include "check/validator.h"
 #include "dvfs/stretch.h"
 #include "sched/dls.h"
 #include "sim/energy.h"
@@ -69,9 +70,11 @@ TEST_F(Fig1Sim, EnergySumsActiveTasksOnly) {
 }
 
 TEST_F(Fig1Sim, MakespanNeverExceedsStaticWorstCase) {
+  check::Validate(schedule_);
   for (int a = 0; a < 2; ++a) {
     for (int b = 0; b < 2; ++b) {
       const InstanceResult r = ExecuteInstance(schedule_, Assign(a, b));
+      check::ValidateInstance(schedule_, Assign(a, b), r);
       EXPECT_LE(r.makespan_ms, schedule_.Makespan() + 1e-6);
       EXPECT_GT(r.makespan_ms, 0.0);
     }
@@ -204,12 +207,14 @@ TEST(SimSweep, ExpectedEnergyMatchesScenarioMixtureOnRandomGraphs) {
       sched::Schedule s =
           sched::RunDls(rc.graph, analysis, rc.platform, probs);
       dvfs::StretchOnline(s, probs);
+      check::Validate(s);
       double mixture = 0.0;
       for (const ctg::Scenario& sc : analysis.EnumerateScenarios(probs)) {
-        mixture += sc.probability *
-                   ExecuteInstance(
-                       s, AssignmentFromScenario(rc.graph, sc.assignment))
-                       .energy_mj;
+        const auto assignment =
+            AssignmentFromScenario(rc.graph, sc.assignment);
+        const InstanceResult r = ExecuteInstance(s, assignment);
+        check::ValidateInstance(s, assignment, r);
+        mixture += sc.probability * r.energy_mj;
       }
       EXPECT_NEAR(ExpectedEnergy(s, probs), mixture, 1e-6);
     }

@@ -4,6 +4,7 @@
 
 #include "apps/common.h"
 #include "apps/fig1_example.h"
+#include "check/validator.h"
 #include "dvfs/algorithms.h"
 #include "dvfs/stretch.h"
 #include "sched/dls.h"
@@ -74,6 +75,9 @@ TEST_P(StretchSweep, DeadlineHoldsInEveryScenario) {
   sched::Schedule s = pipe.Dls();
   RunStretcher(s, pipe.probs, which);
   s.Validate();
+  check::Expectations expect;
+  expect.deadline_feasible = true;  // deadline_factor 1.4 > 1
+  check::Validate(s, expect);
   EXPECT_LE(sim::MaxScenarioMakespan(s),
             pipe.rc.graph.deadline_ms() + 1e-6);
 }
@@ -92,6 +96,7 @@ TEST_P(StretchSweep, SpeedRatiosRespectPeFloor) {
   Pipeline pipe(static_cast<std::uint64_t>(seed), category, 2.5);
   sched::Schedule s = pipe.Dls();
   RunStretcher(s, pipe.probs, which);
+  check::Validate(s);
   for (TaskId t : pipe.rc.graph.TaskIds()) {
     const auto& placement = s.placement(t);
     EXPECT_GE(placement.speed_ratio,
