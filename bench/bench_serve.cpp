@@ -1,0 +1,143 @@
+/// \file bench_serve.cpp
+/// Fleet throughput / queue latency benchmark of the serve daemon.
+///
+/// Replays the deterministic synthetic fleet (serve::SyntheticFleet) at
+/// the requested --jobs concurrency and emits BENCH_serve.json: wall
+/// time, per-SLA-class slice-latency percentiles, deterministic
+/// deadline-miss counts and the schedule-cache counters. CI gates the
+/// latency-critical (SLA0) p99 against the committed baseline
+/// (bench/baselines/BENCH_serve.json) with generous noise headroom; the
+/// deterministic fields double as a cheap fleet regression check.
+///
+///   bench_serve [--jobs N] [--tenants T] [--instances I] [--seed S]
+///               [--out <file>]        (default BENCH_serve.json)
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "runtime/pool.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace actg;
+
+std::size_t FlagValue(int argc, char** argv, const std::string& flag,
+                      std::size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) {
+      try {
+        return static_cast<std::size_t>(std::stoull(argv[i + 1]));
+      } catch (const std::exception&) {
+        return fallback;
+      }
+    }
+  }
+  return fallback;
+}
+
+std::string StringFlag(int argc, char** argv, const std::string& flag,
+                       std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
+void WriteSla(std::ostream& os, const serve::Server& server,
+              const serve::FleetReport& report, serve::SlaClass sla) {
+  const serve::LatencyStats latency = server.Latency(sla);
+  const serve::SlaReport& agg =
+      report.sla[static_cast<std::size_t>(sla)];
+  os << "    {\"class\": \"" << serve::SlaName(sla) << "\", "
+     << "\"tenants\": " << agg.tenants << ", "
+     << "\"shed_tenants\": " << agg.shed_tenants << ", "
+     << "\"instances\": " << agg.instances << ", "
+     << "\"deadline_misses\": " << agg.deadline_misses << ", "
+     << "\"slices\": " << latency.slices << ", "
+     << "\"p50_ms\": " << latency.p50_ms << ", "
+     << "\"p99_ms\": " << latency.p99_ms << ", "
+     << "\"max_ms\": " << latency.max_ms << ", "
+     << "\"budget_overruns\": " << latency.budget_overruns << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::size_t jobs = runtime::ParseJobs(argc, argv);
+    const std::size_t tenants = FlagValue(argc, argv, "--tenants", 48);
+    const std::size_t instances =
+        FlagValue(argc, argv, "--instances", 6);
+    const std::size_t seed = FlagValue(argc, argv, "--seed", 7);
+    const std::string out_path =
+        StringFlag(argc, argv, "--out", "BENCH_serve.json");
+
+    serve::FleetRequest fleet = serve::SyntheticFleet(
+        tenants, instances, static_cast<std::uint64_t>(seed));
+    // Stress the admission ladder: thresholds low enough that a 48+
+    // tenant fleet crosses defer (and, early on, shed) territory.
+    fleet.config.defer_depth = tenants * instances / 4;
+    fleet.config.shed_depth = tenants * instances / 2;
+
+    serve::ServerOptions options;
+    options.jobs = jobs;
+    serve::Server server(std::move(fleet), options);
+
+    const auto begin = std::chrono::steady_clock::now();
+    const serve::FleetReport& report = server.Run();
+    const auto end = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+            .count() *
+        1e-6;
+
+    std::ofstream os(out_path);
+    ACTG_CHECK(bool(os), "bench_serve: cannot write " + out_path);
+    os << "{\n";
+    os << "  \"benchmark\": \"serve\",\n";
+    os << "  \"tenants\": " << tenants << ",\n";
+    os << "  \"instances_per_tenant\": " << instances << ",\n";
+    os << "  \"seed\": " << seed << ",\n";
+    os << "  \"jobs\": " << jobs << ",\n";
+    os << "  \"wall_ms\": " << wall_ms << ",\n";
+    os << "  \"rounds\": " << report.rounds << ",\n";
+    os << "  \"shed_tenants\": " << report.shed_tenants << ",\n";
+    os << "  \"deferred_rounds\": " << report.deferred_rounds << ",\n";
+    os << "  \"cache\": {\"hits\": " << server.cache().hits()
+       << ", \"misses\": " << server.cache().misses()
+       << ", \"evictions\": " << server.cache().evictions() << "},\n";
+    os << "  \"sla\": [\n";
+    for (std::size_t cls = 0; cls < serve::kSlaClassCount; ++cls) {
+      WriteSla(os, server, report,
+               static_cast<serve::SlaClass>(cls));
+      os << (cls + 1 < serve::kSlaClassCount ? ",\n" : "\n");
+    }
+    os << "  ]\n";
+    os << "}\n";
+
+    // Human summary (wall-clock, intentionally not diffable).
+    std::cout << "bench_serve: " << tenants << " tenants x " << instances
+              << " instances, jobs " << jobs << ", wall " << wall_ms
+              << " ms, rounds " << report.rounds << ", shed "
+              << report.shed_tenants << " -> " << out_path << "\n";
+    for (std::size_t cls = 0; cls < serve::kSlaClassCount; ++cls) {
+      const auto sla = static_cast<serve::SlaClass>(cls);
+      const serve::LatencyStats latency = server.Latency(sla);
+      std::cout << "  " << serve::SlaName(sla) << " p50 "
+                << latency.p50_ms << " ms  p99 " << latency.p99_ms
+                << " ms  misses "
+                << report.sla[cls].deadline_misses << "/"
+                << report.sla[cls].instances << "\n";
+    }
+    return 0;
+  } catch (const actg::Error& e) {
+    std::cerr << "bench_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -123,6 +123,8 @@ runtime::ScheduleCacheKey AdaptiveController::CacheKey() const {
   key.graph_fingerprint = graph_fingerprint_;
   key.platform_fingerprint = platform_fingerprint_;
   key.config_fingerprint = config_fingerprint_;
+  key.tenant = options_.cache_tenant;
+  key.policy = options_.policy;
   for (TaskId fork : graph_->ForkIds()) {
     for (int o = 0; o < graph_->OutcomeCount(fork); ++o) {
       key.probs.push_back(in_use_.Outcome(fork, o));
@@ -136,13 +138,18 @@ obs::TraceSession* AdaptiveController::TraceTarget() const {
                                    : obs::TraceSession::Current();
 }
 
+runtime::Metrics& AdaptiveController::MetricsTarget() const {
+  return options_.metrics != nullptr ? *options_.metrics
+                                     : runtime::Metrics::Global();
+}
+
 sched::Schedule AdaptiveController::Reschedule() const {
   return Reschedule(options_.dls.available_pes, 0.0);
 }
 
 sched::Schedule AdaptiveController::Reschedule(
     const arch::PeMask& available, double speed_floor) const {
-  const runtime::ScopedTimer stage_timer(runtime::Metrics::Global(),
+  const runtime::ScopedTimer stage_timer(MetricsTarget(),
                                          "stage.reschedule");
   obs::ScopedSpan span(TraceTarget(), "adaptive.reschedule", "adaptive");
   // Degraded reschedules (restricted PEs and/or a speed floor) bypass
@@ -290,7 +297,7 @@ sim::InstanceResult AdaptiveController::ProcessInstance(
     // would let sampling noise undo the adaptation gains.
     sched::Schedule candidate = Reschedule();
     ++reschedule_count_;
-    runtime::Metrics::Global().Increment("adaptive.reschedule_calls");
+    MetricsTarget().Increment("adaptive.reschedule_calls");
     if (sim::ExpectedEnergy(candidate, in_use_) <
         sim::ExpectedEnergy(schedule_, in_use_)) {
       schedule_ = std::move(candidate);
@@ -324,7 +331,7 @@ void AdaptiveController::LogDegrade(obs::TraceSession* trace,
 bool AdaptiveController::RunLadder(const sim::InstanceResult& result,
                                    const faults::InstanceFaults* faults,
                                    obs::TraceSession* trace) {
-  runtime::Metrics& metrics = runtime::Metrics::Global();
+  runtime::Metrics& metrics = MetricsTarget();
   const DegradeOptions& opts = options_.degrade;
 
   // Failed-PE sightings accumulate over the degraded episode so an

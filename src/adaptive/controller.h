@@ -114,8 +114,23 @@ struct AdaptiveOptions {
   /// revisited operating points become O(1) lookups without changing
   /// any result; computed schedules are inserted back. The cache may be
   /// shared between controllers (it is thread-safe and keyed by graph/
-  /// platform/config fingerprints), and must outlive the controller.
+  /// platform/config fingerprints, the policy name and cache_tenant),
+  /// and must outlive the controller. Multi-tenant servers typically
+  /// pass a runtime::ShardedScheduleCache shard here (ShardFor(tenant))
+  /// together with the matching cache_tenant below.
   runtime::ScheduleCache* schedule_cache = nullptr;
+  /// Tenant id folded into every cache key. Controllers with different
+  /// tenants never share entries (and a tenant's entries can be dropped
+  /// with ScheduleCache::Purge); 0 — the default every single-tenant
+  /// caller keeps — leaves the key space shared, which is the explicit
+  /// cross-controller sharing mode.
+  std::uint64_t cache_tenant = 0;
+  /// Metrics registry the controller reports its stage timers and
+  /// counters into; nullptr (the default) means the process-wide
+  /// runtime::Metrics::Global(). A multi-tenant host passes its own
+  /// registry so thousands of coexisting controllers do not funnel
+  /// through — or pollute — process-global state.
+  runtime::Metrics* metrics = nullptr;
   /// Graceful-degradation ladder (off by default; see DegradeOptions).
   DegradeOptions degrade;
   /// Debug oracle: when set, every freshly computed schedule (initial,
@@ -139,6 +154,18 @@ struct AdaptiveOptions {
 /// Runtime manager owning the current schedule, the profiler and the
 /// in-use branch probabilities. The referenced graph/analysis/platform
 /// must outlive the controller.
+///
+/// Reentrancy contract: a controller owns all of its mutable state (the
+/// profiler, the reschedule engine, the ladder) — it holds no hidden
+/// globals, so thousands of instances coexist in one process and
+/// distinct instances may run on distinct threads concurrently. The
+/// only process-wide services it touches are explicitly injectable:
+/// the metrics registry (options.metrics, default Global()), the trace
+/// session (options.trace, default Current()) and the schedule cache
+/// (options.schedule_cache, default none); the dvfs::Policy registry is
+/// resolved once at construction and policies themselves are stateless.
+/// A single controller instance is NOT thread-safe — drive each one
+/// from one thread at a time.
 class AdaptiveController {
  public:
   AdaptiveController(const ctg::Ctg& graph,
@@ -209,6 +236,9 @@ class AdaptiveController {
   runtime::ScheduleCacheKey CacheKey() const;
   /// The session this controller records into (explicit or current).
   obs::TraceSession* TraceTarget() const;
+  /// The metrics registry this controller reports into (explicit or
+  /// the process-wide Global()).
+  runtime::Metrics& MetricsTarget() const;
   void RecordTimeline(obs::TraceSession& trace,
                       const ctg::BranchAssignment& assignment) const;
   /// Applies one instance's outcome to the degradation ladder. Returns

@@ -1,0 +1,131 @@
+#include "apps/tenants.h"
+
+#include <vector>
+
+#include "apps/common.h"
+#include "trace/generators.h"
+#include "util/error.h"
+
+namespace actg::apps {
+
+std::string_view TenantWorkloadName(TenantWorkload workload) {
+  switch (workload) {
+    case TenantWorkload::kMpeg:
+      return "mpeg";
+    case TenantWorkload::kCruise:
+      return "cruise";
+    case TenantWorkload::kRandomForkJoin:
+      return "random1";
+    case TenantWorkload::kRandomFlat:
+      return "random2";
+  }
+  return "?";
+}
+
+std::optional<TenantWorkload> ParseTenantWorkload(std::string_view name) {
+  if (name == "mpeg") return TenantWorkload::kMpeg;
+  if (name == "cruise") return TenantWorkload::kCruise;
+  if (name == "random1") return TenantWorkload::kRandomForkJoin;
+  if (name == "random2") return TenantWorkload::kRandomFlat;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Deadline tightness of the random tenant graphs (the bundled apps
+/// carry their own paper-calibrated factors).
+constexpr double kRandomDeadlineFactor = 1.3;
+
+tgff::RandomCase MakeRandomTenantCase(tgff::Category category,
+                                      std::uint64_t seed) {
+  // Structural diversity per tenant: the seed picks the (tasks, forks,
+  // PEs) triplet from the band the paper's Tables 4/5 cases span.
+  util::Random rng(seed ^ 0x7E4A47F5D1ULL);
+  tgff::RandomCtgParams params;
+  params.task_count = rng.UniformInt(15, 28);
+  params.fork_count = rng.UniformInt(1, 3);
+  params.pe_count = rng.UniformInt(2, 4);
+  params.category = category;
+  params.seed = seed;
+  tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
+  AssignDeadline(rc.graph, rc.platform, kRandomDeadlineFactor);
+  return rc;
+}
+
+}  // namespace
+
+TenantModel::TenantModel(TenantWorkload workload, std::uint64_t seed)
+    : workload_(workload), seed_(seed) {
+  switch (workload) {
+    case TenantWorkload::kMpeg:
+      mpeg_ = std::make_unique<MpegModel>(MakeMpegModel());
+      break;
+    case TenantWorkload::kCruise:
+      cruise_ = std::make_unique<CruiseModel>(MakeCruiseModel());
+      break;
+    case TenantWorkload::kRandomForkJoin:
+      random_ = std::make_unique<tgff::RandomCase>(
+          MakeRandomTenantCase(tgff::Category::kForkJoin, seed));
+      break;
+    case TenantWorkload::kRandomFlat:
+      random_ = std::make_unique<tgff::RandomCase>(
+          MakeRandomTenantCase(tgff::Category::kFlat, seed));
+      break;
+  }
+  analysis_ = std::make_unique<ctg::ActivationAnalysis>(graph());
+}
+
+const ctg::Ctg& TenantModel::graph() const {
+  if (mpeg_) return mpeg_->graph;
+  if (cruise_) return cruise_->graph;
+  return random_->graph;
+}
+
+const arch::Platform& TenantModel::platform() const {
+  if (mpeg_) return mpeg_->platform;
+  if (cruise_) return cruise_->platform;
+  return random_->platform;
+}
+
+trace::BranchTrace TenantModel::MakeTrace(std::size_t instances,
+                                          util::Random rng) const {
+  switch (workload_) {
+    case TenantWorkload::kMpeg: {
+      // The seed selects the movie profile; the substream reseeds it so
+      // two mpeg tenants with the same profile still watch different
+      // clips.
+      std::vector<MovieProfile> profiles = MpegMovieProfiles();
+      MovieProfile profile =
+          profiles[static_cast<std::size_t>(seed_ % profiles.size())];
+      profile.seed = rng.engine().Next();
+      return GenerateMovieTrace(*mpeg_, profile, instances);
+    }
+    case TenantWorkload::kCruise: {
+      const int sequence = 1 + static_cast<int>(seed_ % 3);
+      return GenerateRoadTrace(*cruise_, sequence, instances,
+                               rng.engine().Next());
+    }
+    case TenantWorkload::kRandomForkJoin:
+    case TenantWorkload::kRandomFlat: {
+      // Drifting random-walk processes with occasional scene changes,
+      // the MPEG-like statistics every adaptive experiment assumes.
+      trace::TraceGenerator gen(graph());
+      for (TaskId fork : graph().ForkIds()) {
+        trace::RandomWalkProcess::Params params;
+        const int arity = graph().OutcomeCount(fork);
+        params.initial_weights.resize(static_cast<std::size_t>(arity));
+        for (double& w : params.initial_weights) {
+          w = rng.Uniform(0.2, 1.0);
+        }
+        params.step_sigma = 0.05;
+        params.jump_probability = 0.01;
+        gen.SetProcess(
+            fork, std::make_unique<trace::RandomWalkProcess>(params));
+      }
+      return gen.Generate(instances, rng);
+    }
+  }
+  throw InternalError("TenantModel::MakeTrace: unreachable workload");
+}
+
+}  // namespace actg::apps

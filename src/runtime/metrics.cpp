@@ -1,5 +1,8 @@
 #include "runtime/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace actg::runtime {
 
 Metrics& Metrics::Global() {
@@ -30,6 +33,36 @@ double Metrics::timer_ms(const std::string& name) const {
                                : static_cast<double>(it->second) * 1e-6;
 }
 
+void Metrics::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observations_[name].push_back(value);
+}
+
+std::size_t Metrics::samples(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = observations_.find(name);
+  return it == observations_.end() ? 0 : it->second.size();
+}
+
+double Metrics::QuantileOf(const std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank: the smallest sample with at least q of the mass at or
+  // below it.
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const std::size_t index =
+      rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+double Metrics::quantile(const std::string& name, double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = observations_.find(name);
+  return it == observations_.end() ? 0.0 : QuantileOf(it->second, q);
+}
+
 std::map<std::string, std::uint64_t> Metrics::Counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;
@@ -48,6 +81,7 @@ void Metrics::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   timer_ns_.clear();
+  observations_.clear();
 }
 
 void Metrics::WriteText(std::ostream& os) const {
@@ -56,6 +90,12 @@ void Metrics::WriteText(std::ostream& os) const {
   }
   for (const auto& [name, ms] : TimersMs()) {
     os << name << "_ms " << ms << "\n";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, samples] : observations_) {
+    os << name << "_count " << samples.size() << "\n";
+    os << name << "_p50 " << QuantileOf(samples, 0.5) << "\n";
+    os << name << "_p99 " << QuantileOf(samples, 0.99) << "\n";
   }
 }
 
@@ -66,6 +106,12 @@ void Metrics::WriteCsv(std::ostream& os) const {
   }
   for (const auto& [name, ms] : TimersMs()) {
     os << name << ",timer_ms," << ms << "\n";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, samples] : observations_) {
+    os << name << ",dist_count," << samples.size() << "\n";
+    os << name << ",dist_p50," << QuantileOf(samples, 0.5) << "\n";
+    os << name << ",dist_p99," << QuantileOf(samples, 0.99) << "\n";
   }
 }
 

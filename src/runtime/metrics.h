@@ -23,6 +23,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace actg::runtime {
 
@@ -48,6 +49,19 @@ class Metrics {
   /// Accumulated time of a stage timer in milliseconds.
   double timer_ms(const std::string& name) const;
 
+  /// Records one sample into the named distribution (creating it
+  /// empty). Distributions power the per-SLA latency percentiles of the
+  /// serve daemon; like timers they hold wall-clock data, so they never
+  /// feed deterministic reports.
+  void Observe(const std::string& name, double value);
+
+  /// Number of samples observed for a distribution; zero when absent.
+  std::size_t samples(const std::string& name) const;
+
+  /// Nearest-rank quantile (q in [0, 1]) of a distribution; 0 when the
+  /// distribution is empty or absent.
+  double quantile(const std::string& name, double q) const;
+
   /// Snapshot of all counters (name -> value).
   std::map<std::string, std::uint64_t> Counters() const;
 
@@ -59,16 +73,21 @@ class Metrics {
   void Reset();
 
   /// Plain-text dump: one "name value" line per counter, one
-  /// "name_ms value" line per timer.
+  /// "name_ms value" line per timer, and "name_p50 / name_p99 /
+  /// name_count" lines per distribution.
   void WriteText(std::ostream& os) const;
 
   /// CSV dump with header "metric,kind,value".
   void WriteCsv(std::ostream& os) const;
 
  private:
+  /// Unlocked quantile over a sample vector (helper for quantile()).
+  static double QuantileOf(const std::vector<double>& samples, double q);
+
   mutable std::mutex mu_;
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, std::int64_t> timer_ns_;
+  std::map<std::string, std::vector<double>> observations_;
 };
 
 /// RAII wall-clock timer: accumulates the scope's duration into a

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "runtime/fingerprint.h"
+#include "util/error.h"
 
 namespace actg::runtime {
 
@@ -11,6 +12,10 @@ std::size_t ScheduleCache::KeyHash::operator()(
   std::uint64_t hash = key.graph_fingerprint;
   hash = HashCombine(hash, key.platform_fingerprint);
   hash = HashCombine(hash, key.config_fingerprint);
+  hash = HashCombine(hash, key.tenant);
+  for (const char c : key.policy) {
+    hash = HashCombine(hash, static_cast<std::uint64_t>(c));
+  }
   for (double p : key.probs) {
     // Bucket by quantized probability; exact equality is checked by
     // operator== on the stored key, so collisions only cost a probe.
@@ -61,6 +66,21 @@ void ScheduleCache::Insert(const ScheduleCacheKey& key,
   }
 }
 
+std::size_t ScheduleCache::Purge(std::uint64_t tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t removed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.tenant == tenant) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 std::size_t ScheduleCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
@@ -72,6 +92,79 @@ double ScheduleCache::HitRate() const {
   return total == 0 ? 0.0
                     : static_cast<double>(hits_) /
                           static_cast<double>(total);
+}
+
+namespace {
+
+/// SplitMix64 finalizer: spreads consecutive tenant ids over the shard
+/// array instead of mapping id % shards (which would pile the common
+/// "tenants numbered 0..n" case onto a modulo pattern).
+std::uint64_t MixTenant(std::uint64_t t) {
+  t += 0x9E3779B97F4A7C15ULL;
+  t = (t ^ (t >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  t = (t ^ (t >> 27)) * 0x94D049BB133111EBULL;
+  return t ^ (t >> 31);
+}
+
+}  // namespace
+
+ShardedScheduleCache::ShardedScheduleCache(
+    ShardedScheduleCacheOptions options, Metrics* metrics) {
+  ACTG_CHECK(options.shards > 0,
+             "ShardedScheduleCache: shards must be > 0");
+  shards_.reserve(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    shards_.push_back(std::make_unique<ScheduleCache>(
+        ScheduleCacheOptions{.capacity = options.shard_capacity,
+                             .quantization = options.quantization},
+        metrics));
+  }
+}
+
+std::size_t ShardedScheduleCache::ShardIndex(std::uint64_t tenant) const {
+  return static_cast<std::size_t>(MixTenant(tenant) % shards_.size());
+}
+
+ScheduleCache& ShardedScheduleCache::ShardFor(std::uint64_t tenant) {
+  return *shards_[ShardIndex(tenant)];
+}
+
+std::size_t ShardedScheduleCache::Purge(std::uint64_t tenant) {
+  return ShardFor(tenant).Purge(tenant);
+}
+
+std::vector<ShardStats> ShardedScheduleCache::Stats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    stats.push_back(ShardStats{shard->size(), shard->hits(),
+                               shard->misses(), shard->evictions()});
+  }
+  return stats;
+}
+
+std::size_t ShardedScheduleCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+std::uint64_t ShardedScheduleCache::hits() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->hits();
+  return total;
+}
+
+std::uint64_t ShardedScheduleCache::misses() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->misses();
+  return total;
+}
+
+std::uint64_t ShardedScheduleCache::evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->evictions();
+  return total;
 }
 
 }  // namespace actg::runtime

@@ -24,7 +24,10 @@
 /// were built from; those must outlive the cache.
 ///
 /// All operations are thread-safe (single mutex; entries are copied out
-/// under the lock).
+/// under the lock). For many-tenant deployments a ShardedScheduleCache
+/// partitions the key space over independent ScheduleCache shards so
+/// tenants on different shards never contend on one mutex, with
+/// per-shard statistics and a per-tenant Purge.
 
 #ifndef ACTG_RUNTIME_SCHEDULE_CACHE_H
 #define ACTG_RUNTIME_SCHEDULE_CACHE_H
@@ -32,8 +35,10 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -45,10 +50,22 @@ namespace actg::runtime {
 
 /// Cache key. probs is the flattened outcome-probability vector over the
 /// graph's forks in topological fork order; equality is exact.
+///
+/// The policy name is an exact-match field of its own: the config
+/// fingerprint folds the policy in, but a 64-bit hash collision between
+/// two configs that differ only in policy would otherwise alias their
+/// entries — with the string in the key, two tenants scheduling the
+/// same graph under different --policy can never serve each other's
+/// schedules. The tenant id partitions the key space per tenant (0 =
+/// the unpartitioned default every single-tenant caller uses); a
+/// multi-tenant server that wants explicit cross-tenant sharing keys
+/// every controller with tenant 0 instead.
 struct ScheduleCacheKey {
   std::uint64_t graph_fingerprint = 0;
   std::uint64_t platform_fingerprint = 0;
   std::uint64_t config_fingerprint = 0;
+  std::uint64_t tenant = 0;
+  std::string policy;
   std::vector<double> probs;
 
   friend bool operator==(const ScheduleCacheKey&,
@@ -88,6 +105,11 @@ class ScheduleCache {
   /// evicting the least recently used entry beyond capacity.
   void Insert(const ScheduleCacheKey& key, ScheduleCacheEntry entry);
 
+  /// Drops every entry whose key carries \p tenant (session shutdown in
+  /// the serve daemon). Returns the number of entries removed; purged
+  /// entries do not count as evictions.
+  std::size_t Purge(std::uint64_t tenant);
+
   std::size_t size() const;
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
@@ -117,6 +139,65 @@ class ScheduleCache {
   std::atomic<std::uint64_t> hits_ = 0;
   std::atomic<std::uint64_t> misses_ = 0;
   std::atomic<std::uint64_t> evictions_ = 0;
+};
+
+/// Configuration of a sharded cache.
+struct ShardedScheduleCacheOptions {
+  /// Number of independent shards; tenant t lives on shard
+  /// SplitMix-mixed(t) % shards, so consecutive tenant ids spread
+  /// evenly. Must be > 0.
+  std::size_t shards = 8;
+  /// Per-shard LRU capacity and hash quantization (see
+  /// ScheduleCacheOptions).
+  std::size_t shard_capacity = 64;
+  std::uint64_t quantization = 1u << 16;
+};
+
+/// Point-in-time counters of one shard.
+struct ShardStats {
+  std::size_t entries = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Tenant-partitioned schedule cache: a fixed array of ScheduleCache
+/// shards, routed by the key's tenant id. Thousands of controllers in
+/// one process contend only within their own shard's mutex, and a
+/// tenant's entries can be purged on session shutdown without touching
+/// the other shards' LRU order. Thread-safe like the shards it owns.
+class ShardedScheduleCache {
+ public:
+  /// \p metrics mirrors each shard's counters under
+  /// "schedule_cache.{hits,misses,evictions}" (shared across shards,
+  /// like a single cache would report).
+  explicit ShardedScheduleCache(ShardedScheduleCacheOptions options = {},
+                                Metrics* metrics = nullptr);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The shard hosting \p tenant. The returned reference is valid for
+  /// the cache's lifetime; hand it to AdaptiveOptions::schedule_cache
+  /// together with the tenant id in AdaptiveOptions::cache_tenant.
+  ScheduleCache& ShardFor(std::uint64_t tenant);
+
+  /// Shard index hosting \p tenant (stable for the cache's lifetime).
+  std::size_t ShardIndex(std::uint64_t tenant) const;
+
+  /// Drops every entry of \p tenant from its shard; returns the count.
+  std::size_t Purge(std::uint64_t tenant);
+
+  /// Per-shard counters, indexed by shard.
+  std::vector<ShardStats> Stats() const;
+
+  /// Aggregates over all shards.
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  std::vector<std::unique_ptr<ScheduleCache>> shards_;
 };
 
 }  // namespace actg::runtime

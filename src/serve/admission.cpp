@@ -1,0 +1,71 @@
+#include "serve/admission.h"
+
+#include "util/error.h"
+
+namespace actg::serve {
+
+const char* AdmissionLevelName(AdmissionLevel level) {
+  switch (level) {
+    case AdmissionLevel::kOpen:
+      return "open";
+    case AdmissionLevel::kDefer:
+      return "defer";
+    case AdmissionLevel::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const ServeConfig& config)
+    : defer_depth_(config.defer_depth),
+      shed_depth_(config.shed_depth),
+      recover_rounds_(config.recover_rounds) {
+  config.Validate().ThrowIfError();
+}
+
+void AdmissionController::SetLevel(std::size_t round, std::size_t depth,
+                                   AdmissionLevel level) {
+  if (level == level_) return;
+  level_ = level;
+  log_.push_back({round, depth, level});
+}
+
+void AdmissionController::Update(std::size_t round, std::size_t depth) {
+  if (depth > shed_depth_) {
+    calm_streak_ = 0;
+    SetLevel(round, depth, AdmissionLevel::kShed);
+  } else if (depth > defer_depth_) {
+    calm_streak_ = 0;
+    // Escalate to defer; an active shed rung only steps down through
+    // the calm-streak hysteresis below.
+    if (level_ == AdmissionLevel::kOpen) {
+      SetLevel(round, depth, AdmissionLevel::kDefer);
+    }
+  } else {
+    ++calm_streak_;
+    if (calm_streak_ >= recover_rounds_ &&
+        level_ != AdmissionLevel::kOpen) {
+      calm_streak_ = 0;
+      SetLevel(round, depth,
+               level_ == AdmissionLevel::kShed ? AdmissionLevel::kDefer
+                                               : AdmissionLevel::kOpen);
+    }
+  }
+  if (level_ != AdmissionLevel::kOpen) ++deferred_rounds_;
+}
+
+bool AdmissionController::Admit(SlaClass sla) {
+  if (sla != SlaClass::kBackground) return true;
+  if (level_ == AdmissionLevel::kShed) {
+    ++shed_count_;
+    return false;
+  }
+  return true;
+}
+
+bool AdmissionController::DispatchAllowed(SlaClass sla) const {
+  if (sla != SlaClass::kBackground) return true;
+  return level_ == AdmissionLevel::kOpen;
+}
+
+}  // namespace actg::serve

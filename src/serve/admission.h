@@ -1,0 +1,88 @@
+/// \file admission.h
+/// Load-shedding admission control of the serve daemon.
+///
+/// A three-rung ladder in the graceful-degradation idiom of
+/// adaptive::DegradeOptions, driven exclusively by the *deterministic*
+/// queue depth — the total backlog of admitted-but-unfinished CTG
+/// instances — so its decisions replay identically at any --jobs count
+/// (wall-clock latency is observed and reported, never acted on):
+///
+///   open  --depth > defer_depth-->  defer   (SLA2 dispatch pauses)
+///   any   --depth > shed_depth -->  shed    (arriving SLA2 tenants
+///                                            are rejected outright)
+///   any   --calm streak-->          one rung down (hysteresis:
+///                                   recover_rounds consecutive rounds
+///                                   at or below defer_depth)
+///
+/// SLA0 (latency-critical) and SLA1 (throughput) tenants are always
+/// admitted and always dispatched — the ladder only sacrifices
+/// background work, keeping the latency-critical miss rate at its
+/// single-tenant baseline under overload.
+
+#ifndef ACTG_SERVE_ADMISSION_H
+#define ACTG_SERVE_ADMISSION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/sla.h"
+
+namespace actg::serve {
+
+/// Rung of the admission ladder.
+enum class AdmissionLevel { kOpen = 0, kDefer = 1, kShed = 2 };
+
+/// serve report token: "open", "defer", "shed".
+const char* AdmissionLevelName(AdmissionLevel level);
+
+/// One ladder transition, in firing order.
+struct AdmissionEvent {
+  std::size_t round = 0;
+  std::size_t depth = 0;
+  AdmissionLevel level = AdmissionLevel::kOpen;
+};
+
+class AdmissionController {
+ public:
+  /// Reads defer_depth / shed_depth / recover_rounds from \p config
+  /// (which must Validate()).
+  explicit AdmissionController(const ServeConfig& config);
+
+  /// Applies round \p round's end-of-round queue depth. Called serially
+  /// by the dispatch loop; the resulting level governs the *next*
+  /// round.
+  void Update(std::size_t round, std::size_t depth);
+
+  /// Whether a tenant of class \p sla arriving now is admitted. SLA2 is
+  /// rejected at kShed; counted in shed_count().
+  bool Admit(SlaClass sla);
+
+  /// Whether class \p sla may dispatch instances this round. SLA2 is
+  /// paused at kDefer and above.
+  bool DispatchAllowed(SlaClass sla) const;
+
+  AdmissionLevel level() const { return level_; }
+  /// Background tenants rejected at admission.
+  std::size_t shed_count() const { return shed_count_; }
+  /// Rounds in which background dispatch was paused.
+  std::size_t deferred_rounds() const { return deferred_rounds_; }
+  /// Every ladder transition so far.
+  const std::vector<AdmissionEvent>& log() const { return log_; }
+
+ private:
+  void SetLevel(std::size_t round, std::size_t depth, AdmissionLevel level);
+
+  std::size_t defer_depth_;
+  std::size_t shed_depth_;
+  std::size_t recover_rounds_;
+  AdmissionLevel level_ = AdmissionLevel::kOpen;
+  std::size_t calm_streak_ = 0;
+  std::size_t shed_count_ = 0;
+  std::size_t deferred_rounds_ = 0;
+  std::vector<AdmissionEvent> log_;
+};
+
+}  // namespace actg::serve
+
+#endif  // ACTG_SERVE_ADMISSION_H

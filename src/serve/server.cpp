@@ -1,0 +1,285 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace actg::serve {
+
+namespace {
+
+/// Tenant id folded into cache keys: file index + 1, so id 0 keeps its
+/// "shared key space" meaning for the share_cache mode.
+std::uint64_t TenantId(std::size_t index) {
+  return static_cast<std::uint64_t>(index) + 1;
+}
+
+double NearestRank(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = std::ceil(q * static_cast<double>(samples.size()));
+  const std::size_t index =
+      rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+}  // namespace
+
+Server::Server(FleetRequest fleet, ServerOptions options)
+    : fleet_(std::move(fleet)),
+      options_(options),
+      own_metrics_(options.metrics == nullptr
+                       ? std::make_unique<runtime::Metrics>()
+                       : nullptr),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : own_metrics_.get()),
+      pool_(options.jobs == 0 ? 1 : options.jobs),
+      admission_(fleet_.config) {
+  fleet_.Validate().ThrowIfError();
+  runtime::ShardedScheduleCacheOptions cache_options;
+  cache_options.shards = fleet_.config.cache_shards;
+  cache_options.shard_capacity = fleet_.config.shard_capacity;
+  cache_ = std::make_unique<runtime::ShardedScheduleCache>(cache_options,
+                                                           metrics_);
+  sessions_.resize(fleet_.tenants.size());
+  arrived_.resize(fleet_.tenants.size(), false);
+  finish_round_.resize(fleet_.tenants.size(), 0);
+}
+
+void Server::AdmitArrivals(std::size_t round) {
+  const util::Random root(fleet_.config.seed);
+  for (std::size_t i = 0; i < fleet_.tenants.size(); ++i) {
+    if (arrived_[i] || fleet_.tenants[i].arrival > round) continue;
+    arrived_[i] = true;
+    TenantRequest request = fleet_.tenants[i];
+    if (!admission_.Admit(request.sla)) continue;  // shed: slot stays null
+    if (request.seed == 0) request.seed = TenantId(i);
+    SessionOptions session_options;
+    const std::uint64_t tenant =
+        fleet_.config.share_cache ? 0 : TenantId(i);
+    session_options.cache = &cache_->ShardFor(tenant);
+    session_options.cache_tenant = tenant;
+    session_options.metrics = metrics_;
+    session_options.validate = fleet_.config.validate;
+    sessions_[i] = std::make_unique<Session>(
+        std::move(request), session_options,
+        root.Fork(static_cast<std::uint64_t>(i)));
+  }
+}
+
+std::size_t Server::RunRound(std::size_t round,
+                             std::vector<Session*>& dispatch) {
+  std::vector<double> slice_ms(dispatch.size(), 0.0);
+  const std::size_t batch = fleet_.config.batch;
+  pool_.ParallelFor(dispatch.size(), [&](std::size_t i) {
+    const auto begin = std::chrono::steady_clock::now();
+    Session& session = *dispatch[i];
+    if (session.state() == SessionState::kAdmitted) session.NewApp();
+    const std::size_t n = std::min(batch, session.remaining());
+    for (std::size_t k = 0; k < n; ++k) {
+      session.NewInstance();
+      session.InstanceComplete();
+    }
+    session.PeriodicCheck();
+    const auto end = std::chrono::steady_clock::now();
+    slice_ms[i] =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+            .count() *
+        1e-6;
+  });
+
+  // Serial post-processing: wall-clock observations (index-addressed,
+  // so recording order is dispatch order, not completion order).
+  for (std::size_t i = 0; i < dispatch.size(); ++i) {
+    const SlaClass sla = dispatch[i]->sla();
+    const auto cls = static_cast<std::size_t>(sla);
+    latency_ms_[cls].push_back(slice_ms[i]);
+    metrics_->Observe(
+        "serve." + std::string(SlaLabel(sla)) + ".slice_latency_ms",
+        slice_ms[i]);
+    const double budget = fleet_.config.budget_ms[cls];
+    if (budget > 0.0 && slice_ms[i] > budget) {
+      ++budget_overruns_[cls];
+      metrics_->Increment("serve." + std::string(SlaLabel(sla)) +
+                          ".budget_overruns");
+    }
+  }
+
+  // Retire finished sessions and drop their cache partition.
+  std::size_t depth = 0;
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    Session* session = sessions_[i].get();
+    if (session == nullptr) continue;
+    if (session->state() == SessionState::kDone) {
+      finish_round_[i] = round;
+      session->Shutdown();
+      if (!fleet_.config.share_cache) cache_->Purge(TenantId(i));
+    }
+    depth += session->remaining();
+  }
+  return depth;
+}
+
+const FleetReport& Server::Run() {
+  ACTG_CHECK(!ran_, "Server::Run is valid once");
+  ran_ = true;
+
+  std::size_t max_arrival = 0;
+  for (const TenantRequest& t : fleet_.tenants) {
+    max_arrival = std::max(max_arrival, t.arrival);
+  }
+
+  std::size_t round = 0;
+  for (;; ++round) {
+    AdmitArrivals(round);
+
+    // Priority dispatch: SLA0 first, then SLA1, then SLA2. Background
+    // is paused while the ladder is degraded — unless nothing of
+    // higher priority wants the round (work-conserving rule; without
+    // it a fleet whose remaining backlog is purely background could
+    // hold the depth above defer_depth forever and never drain).
+    std::vector<Session*> dispatch;
+    std::size_t foreground = 0;
+    for (std::size_t cls = 0; cls < kSlaClassCount; ++cls) {
+      const SlaClass sla = static_cast<SlaClass>(cls);
+      for (const std::unique_ptr<Session>& session : sessions_) {
+        if (session == nullptr || session->sla() != sla) continue;
+        if (session->state() != SessionState::kAdmitted &&
+            session->state() != SessionState::kActive) {
+          continue;
+        }
+        if (sla == SlaClass::kBackground &&
+            !admission_.DispatchAllowed(sla) && foreground > 0) {
+          continue;
+        }
+        dispatch.push_back(session.get());
+        if (sla != SlaClass::kBackground) ++foreground;
+      }
+    }
+
+    const std::size_t depth = RunRound(round, dispatch);
+    admission_.Update(round, depth);
+    if (depth == 0 && round >= max_arrival) break;
+  }
+
+  report_.rounds = round + 1;
+  FinishReport();
+  return report_;
+}
+
+void Server::FinishReport() {
+  for (std::size_t i = 0; i < fleet_.tenants.size(); ++i) {
+    const TenantRequest& request = fleet_.tenants[i];
+    TenantReport row;
+    row.name = request.name;
+    row.sla = request.sla;
+    row.workload = request.workload;
+    row.requested = request.instances;
+    row.arrival_round = request.arrival;
+    const Session* session = sessions_[i].get();
+    if (session == nullptr) {
+      row.shed = true;
+    } else {
+      const sim::RunSummary& summary = session->summary();
+      row.completed = summary.instances;
+      row.deadline_misses = summary.deadline_misses;
+      row.energy_mj = summary.total_energy_mj;
+      row.max_makespan_ms = summary.max_makespan_ms;
+      row.reschedules = session->controller().reschedule_count();
+      row.finish_round = finish_round_[i];
+    }
+
+    SlaReport& agg = report_.sla[static_cast<std::size_t>(row.sla)];
+    ++agg.tenants;
+    if (row.shed) ++agg.shed_tenants;
+    agg.instances += row.completed;
+    agg.deadline_misses += row.deadline_misses;
+    agg.energy_mj += row.energy_mj;
+    report_.tenants.push_back(std::move(row));
+  }
+  report_.shed_tenants = admission_.shed_count();
+  report_.deferred_rounds = admission_.deferred_rounds();
+  report_.admission_log = admission_.log();
+
+  // Deterministic per-class counters (the latency distributions above
+  // are wall-clock and deliberately stay out of the report).
+  for (std::size_t cls = 0; cls < kSlaClassCount; ++cls) {
+    const std::string label(SlaLabel(static_cast<SlaClass>(cls)));
+    metrics_->Increment("serve." + label + ".instances",
+                        report_.sla[cls].instances);
+    metrics_->Increment("serve." + label + ".deadline_misses",
+                        report_.sla[cls].deadline_misses);
+    metrics_->Increment("serve." + label + ".shed_tenants",
+                        report_.sla[cls].shed_tenants);
+  }
+}
+
+LatencyStats Server::Latency(SlaClass sla) const {
+  const auto& samples = latency_ms_[static_cast<std::size_t>(sla)];
+  LatencyStats stats;
+  stats.slices = samples.size();
+  stats.p50_ms = NearestRank(samples, 0.5);
+  stats.p99_ms = NearestRank(samples, 0.99);
+  stats.max_ms = samples.empty()
+                     ? 0.0
+                     : *std::max_element(samples.begin(), samples.end());
+  stats.budget_overruns =
+      budget_overruns_[static_cast<std::size_t>(sla)];
+  return stats;
+}
+
+void FleetReport::Write(std::ostream& os) const {
+  os << "== serve fleet report ==\n";
+  os << "tenants " << tenants.size() << " rounds " << rounds << " shed "
+     << shed_tenants << " deferred_rounds " << deferred_rounds << "\n";
+  os << "-- sla --\n";
+  for (std::size_t cls = 0; cls < kSlaClassCount; ++cls) {
+    const SlaReport& agg = sla[cls];
+    os << SlaName(static_cast<SlaClass>(cls)) << " tenants "
+       << agg.tenants << " shed " << agg.shed_tenants << " instances "
+       << agg.instances << " misses " << agg.deadline_misses
+       << " energy_mj " << agg.energy_mj << "\n";
+  }
+  os << "-- admission --\n";
+  for (const AdmissionEvent& event : admission_log) {
+    os << "round " << event.round << " depth " << event.depth
+       << " level " << AdmissionLevelName(event.level) << "\n";
+  }
+  os << "-- tenants --\n";
+  for (const TenantReport& row : tenants) {
+    os << row.name << " " << SlaName(row.sla) << " "
+       << apps::TenantWorkloadName(row.workload);
+    if (row.shed) {
+      os << " shed\n";
+      continue;
+    }
+    os << " completed " << row.completed << "/" << row.requested
+       << " misses " << row.deadline_misses << " reschedules "
+       << row.reschedules << " energy_mj " << row.energy_mj
+       << " max_makespan_ms " << row.max_makespan_ms << " rounds "
+       << row.arrival_round << ".." << row.finish_round << "\n";
+  }
+  os << "== end ==\n";
+}
+
+util::Expected<std::unique_ptr<Server>> RunServeFile(
+    std::istream& is, std::size_t jobs, std::ostream& report_os) {
+  util::Expected<FleetRequest> fleet = ParseServeFile(is);
+  if (!fleet.ok()) return fleet.error();
+  try {
+    ServerOptions options;
+    options.jobs = jobs;
+    auto server = std::make_unique<Server>(std::move(fleet).value(),
+                                           options);
+    server->Run().Write(report_os);
+    return server;
+  } catch (const InvalidArgument& e) {
+    return util::Error::Invalid(e.what());
+  }
+}
+
+}  // namespace actg::serve

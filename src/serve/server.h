@@ -1,0 +1,165 @@
+/// \file server.h
+/// The multi-tenant scheduling-as-a-service dispatch loop.
+///
+/// A Server replays one FleetRequest: it admits tenants at their
+/// arrival rounds (through the AdmissionController), drives every
+/// admitted Session through the event API in fixed-size batches on a
+/// runtime::Pool, and aggregates a FleetReport.
+///
+/// Determinism contract (the property the golden tests pin): the
+/// report is byte-identical for any --jobs count, because
+///  * each session's trace comes from its own Random::Fork substream of
+///    the fleet seed (tenant index as the stream id);
+///  * the pool only decides *where* a session's round slice runs, never
+///    what it computes — sessions own their state and the schedule
+///    cache is exact-match (a hit returns precisely what the miss would
+///    have computed);
+///  * admission decisions depend only on the deterministic queue depth,
+///    updated serially at round end;
+///  * wall-clock latencies are recorded per round slice into
+///    index-addressed slots and surfaced only through the metrics
+///    registry / bench JSON, never the report.
+
+#ifndef ACTG_SERVE_SERVER_H
+#define ACTG_SERVE_SERVER_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runtime/metrics.h"
+#include "runtime/pool.h"
+#include "runtime/schedule_cache.h"
+#include "serve/admission.h"
+#include "serve/request.h"
+#include "serve/session.h"
+#include "serve/sla.h"
+
+namespace actg::serve {
+
+/// Final state of one tenant in the fleet report.
+struct TenantReport {
+  std::string name;
+  SlaClass sla = SlaClass::kThroughput;
+  apps::TenantWorkload workload = apps::TenantWorkload::kRandomForkJoin;
+  /// True when admission rejected the tenant (SLA2 under shed); every
+  /// numeric field below stays zero.
+  bool shed = false;
+  std::size_t requested = 0;
+  std::size_t completed = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t reschedules = 0;
+  double energy_mj = 0.0;
+  double max_makespan_ms = 0.0;
+  std::size_t arrival_round = 0;
+  std::size_t finish_round = 0;
+};
+
+/// Per-SLA-class aggregate of the deterministic report.
+struct SlaReport {
+  std::size_t tenants = 0;
+  std::size_t shed_tenants = 0;
+  std::size_t instances = 0;
+  std::size_t deadline_misses = 0;
+  double energy_mj = 0.0;
+
+  double MissRate() const {
+    return instances == 0 ? 0.0
+                          : static_cast<double>(deadline_misses) /
+                                static_cast<double>(instances);
+  }
+};
+
+/// The deterministic outcome of a fleet replay.
+struct FleetReport {
+  std::vector<TenantReport> tenants;  ///< file order
+  std::array<SlaReport, kSlaClassCount> sla;
+  std::size_t rounds = 0;
+  std::size_t shed_tenants = 0;
+  std::size_t deferred_rounds = 0;
+  std::vector<AdmissionEvent> admission_log;
+
+  /// Renders the report as deterministic text (the golden artifact the
+  /// --jobs 1 vs --jobs 8 tests byte-compare).
+  void Write(std::ostream& os) const;
+};
+
+/// Wall-clock percentile summary of one SLA class (not deterministic;
+/// reported via metrics/JSON only).
+struct LatencyStats {
+  std::size_t slices = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  std::size_t budget_overruns = 0;
+};
+
+struct ServerOptions {
+  /// Pool concurrency (--jobs); 1 = serial.
+  std::size_t jobs = 1;
+  /// Metrics registry for latency distributions, per-class counters and
+  /// the controllers' stage timers; null = a server-private registry
+  /// (the daemon never pollutes Global() by default).
+  runtime::Metrics* metrics = nullptr;
+};
+
+class Server {
+ public:
+  /// Validates \p fleet up front (throws InvalidArgument when broken).
+  Server(FleetRequest fleet, ServerOptions options = {});
+
+  /// Replays the whole fleet to completion and returns the report.
+  /// Valid once.
+  const FleetReport& Run();
+
+  const FleetReport& report() const { return report_; }
+  const AdmissionController& admission() const { return admission_; }
+  runtime::ShardedScheduleCache& cache() { return *cache_; }
+  runtime::Metrics& metrics() { return *metrics_; }
+
+  /// Wall-clock latency percentiles of \p sla over the completed run.
+  LatencyStats Latency(SlaClass sla) const;
+
+  /// The live sessions in tenant-file order; a shed tenant's slot is
+  /// null. Sessions outlive Run() so oracle tests can re-validate
+  /// sampled instances (Session::model()/controller()/assignment()).
+  const std::vector<std::unique_ptr<Session>>& sessions() const {
+    return sessions_;
+  }
+
+ private:
+  /// Executes one dispatch round; returns the end-of-round queue depth.
+  std::size_t RunRound(std::size_t round,
+                       std::vector<Session*>& dispatch);
+  void AdmitArrivals(std::size_t round);
+  void FinishReport();
+
+  FleetRequest fleet_;
+  ServerOptions options_;
+  std::unique_ptr<runtime::Metrics> own_metrics_;
+  runtime::Metrics* metrics_;
+  std::unique_ptr<runtime::ShardedScheduleCache> cache_;
+  runtime::Pool pool_;
+  AdmissionController admission_;
+  std::vector<std::unique_ptr<Session>> sessions_;  ///< null when shed
+  std::vector<bool> arrived_;
+  std::vector<std::size_t> finish_round_;
+  std::array<std::vector<double>, kSlaClassCount> latency_ms_;
+  std::array<std::size_t, kSlaClassCount> budget_overruns_ = {0, 0, 0};
+  FleetReport report_;
+  bool ran_ = false;
+};
+
+/// Convenience: parse + replay \p is with \p jobs workers, writing the
+/// deterministic report to \p report_os. Returns the server (report,
+/// latencies, cache stats) for callers that want more than the text.
+util::Expected<std::unique_ptr<Server>> RunServeFile(std::istream& is,
+                                                     std::size_t jobs,
+                                                     std::ostream& report_os);
+
+}  // namespace actg::serve
+
+#endif  // ACTG_SERVE_SERVER_H

@@ -1,0 +1,42 @@
+#include "serve/sla.h"
+
+namespace actg::serve {
+
+std::string_view SlaName(SlaClass sla) {
+  switch (sla) {
+    case SlaClass::kLatencyCritical:
+      return "SLA0";
+    case SlaClass::kThroughput:
+      return "SLA1";
+    case SlaClass::kBackground:
+      return "SLA2";
+  }
+  return "?";
+}
+
+std::string_view SlaLabel(SlaClass sla) {
+  switch (sla) {
+    case SlaClass::kLatencyCritical:
+      return "latency_critical";
+    case SlaClass::kThroughput:
+      return "throughput";
+    case SlaClass::kBackground:
+      return "background";
+  }
+  return "?";
+}
+
+std::optional<SlaClass> ParseSlaClass(std::string_view token) {
+  for (std::size_t i = 0; i < kSlaClassCount; ++i) {
+    const SlaClass sla = static_cast<SlaClass>(i);
+    if (token == SlaName(sla) || token == SlaLabel(sla)) return sla;
+  }
+  return std::nullopt;
+}
+
+std::optional<SlaClass> SlaFromIndex(std::size_t index) {
+  if (index >= kSlaClassCount) return std::nullopt;
+  return static_cast<SlaClass>(index);
+}
+
+}  // namespace actg::serve

@@ -1,0 +1,43 @@
+/// \file sla.h
+/// Service-level-agreement classes of the serve daemon.
+///
+/// Every tenant request carries one of three classes, mirroring the
+/// SLA0-2 tiers of datacenter scheduling exercises: SLA0 requests are
+/// latency-critical (dispatched first, never deferred), SLA1 requests
+/// are throughput-oriented (always dispatched, after SLA0), and SLA2
+/// requests are background work the admission controller may defer or
+/// shed outright under load.
+
+#ifndef ACTG_SERVE_SLA_H
+#define ACTG_SERVE_SLA_H
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace actg::serve {
+
+/// Priority classes, ordered: lower value == higher priority.
+enum class SlaClass {
+  kLatencyCritical = 0,  ///< SLA0 — dispatched first, never shed
+  kThroughput = 1,       ///< SLA1 — dispatched after SLA0, never shed
+  kBackground = 2,       ///< SLA2 — deferred/shed under load
+};
+
+inline constexpr std::size_t kSlaClassCount = 3;
+
+/// Canonical serve-v1 token: "SLA0", "SLA1", "SLA2".
+std::string_view SlaName(SlaClass sla);
+
+/// Human-readable label: "latency_critical", "throughput", "background".
+std::string_view SlaLabel(SlaClass sla);
+
+/// Parses either the canonical token or the label; nullopt otherwise.
+std::optional<SlaClass> ParseSlaClass(std::string_view token);
+
+/// The class with enum value \p index (0..2); nullopt out of range.
+std::optional<SlaClass> SlaFromIndex(std::size_t index);
+
+}  // namespace actg::serve
+
+#endif  // ACTG_SERVE_SLA_H

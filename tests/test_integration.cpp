@@ -8,6 +8,9 @@
 #include "ctg/activation.h"
 #include "dvfs/algorithms.h"
 #include "experiments.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "serve/session.h"
 #include "sim/energy.h"
 #include "sim/executor.h"
 #include "util/rng.h"
@@ -226,6 +229,41 @@ TEST(Determinism, WholeExperimentReproducesExactly) {
   EXPECT_DOUBLE_EQ(a.adaptive_energy_t01, b.adaptive_energy_t01);
   EXPECT_EQ(a.calls_t05, b.calls_t05);
   EXPECT_EQ(a.calls_t01, b.calls_t01);
+}
+
+TEST(ServeFleet, OracleValidatesSampledInstancesOfEveryTenant) {
+  // Replay a mixed-SLA fleet with the oracle enabled (validate=true
+  // checks every freshly computed schedule inside the controllers),
+  // then independently re-validate at least one instance per tenant:
+  // re-execute it against the tenant's final schedule and hand the
+  // result to check::ValidateInstance (fresh ASAP pass + energy
+  // re-integration).
+  serve::FleetRequest fleet = serve::SyntheticFleet(9, 5, 13);
+  fleet.config.validate = true;
+  serve::ServerOptions options;
+  options.jobs = 4;
+  serve::Server server(std::move(fleet), options);
+  const serve::FleetReport& report = server.Run();
+  EXPECT_EQ(report.shed_tenants, 0u) << "fleet sized to admit everyone";
+
+  std::size_t sampled = 0;
+  for (const auto& session : server.sessions()) {
+    ASSERT_NE(session, nullptr);
+    EXPECT_EQ(session->state(), serve::SessionState::kShutdown);
+    const sched::Schedule& schedule =
+        session->controller().current_schedule();
+    check::Validate(schedule);
+    // Sample the first and last instance of the tenant's trace.
+    for (const std::size_t index :
+         {std::size_t{0}, session->request().instances - 1}) {
+      const sim::InstanceResult replay =
+          sim::ExecuteInstance(schedule, session->assignment(index));
+      check::ValidateInstance(schedule, session->assignment(index),
+                              replay);
+      ++sampled;
+    }
+  }
+  EXPECT_EQ(sampled, 2 * report.tenants.size());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adaptive/controller.h"
@@ -175,6 +176,65 @@ TEST_F(PolicyFixture, RegisterCustomPolicy) {
   ApplyPolicy("test-echo", via_custom, probs_);
   ApplyPolicy("proportional", via_builtin, probs_);
   ExpectSameStretch(via_custom, via_builtin);
+}
+
+/// Uniquely named no-op policies for the concurrency test below.
+class NumberedPolicy : public Policy {
+ public:
+  explicit NumberedPolicy(std::string name) : name_(std::move(name)) {}
+  std::string_view Name() const override { return name_; }
+
+ protected:
+  StretchStats DoApply(PathEngine& engine,
+                       PolicyContext& ctx) const override {
+    return GetPolicy("proportional").Apply(engine, ctx);
+  }
+
+ private:
+  std::string name_;
+};
+
+TEST_F(PolicyFixture, RegistryIsThreadSafe) {
+  // TSan regression (the tsan CI job runs this binary): writers
+  // registering fresh policies race readers resolving/listing them.
+  // Before the registry grew its mutex this was a data race on the map.
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kPerWriter = 16;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        std::string name = "test-racer-" + std::to_string(w) + "-" +
+                           std::to_string(i);
+        if (FindPolicy(name) != nullptr) continue;  // re-run of the test
+        RegisterPolicy(std::make_unique<NumberedPolicy>(std::move(name)));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([r] {
+      for (int i = 0; i < kPerWriter * kWriters; ++i) {
+        const std::string name = "test-racer-" + std::to_string(r) + "-" +
+                                 std::to_string(i % kPerWriter);
+        const Policy* policy = FindPolicy(name);
+        if (policy != nullptr) EXPECT_EQ(policy->Name(), name);
+        EXPECT_NE(&GetPolicy("online"), nullptr);
+        EXPECT_GE(PolicyNames().size(), 3u);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every registration won (or was already present from a prior run).
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPerWriter; ++i) {
+      const std::string name = "test-racer-" + std::to_string(w) + "-" +
+                               std::to_string(i);
+      EXPECT_NE(FindPolicy(name), nullptr) << name;
+    }
+  }
 }
 
 }  // namespace

@@ -372,6 +372,97 @@ TEST_F(ScheduleCacheFixture, AdaptiveRunUnchangedByCacheWithHits) {
   EXPECT_GT(cache.hits(), 0u);
 }
 
+TEST_F(ScheduleCacheFixture, TenantAndPolicyFieldsPreventKeyAliasing) {
+  // Two tenants (or two policies) scheduling the same graph at the same
+  // operating point must never serve each other's entries.
+  ScheduleCache cache;
+  ScheduleCacheKey key = MakeKey({0.4, 0.6});
+  key.tenant = 1;
+  key.policy = "online";
+  cache.Insert(key, MakeEntry(ex_.probs));
+
+  ScheduleCacheKey other_tenant = key;
+  other_tenant.tenant = 2;
+  EXPECT_FALSE(cache.Lookup(other_tenant).has_value());
+
+  ScheduleCacheKey other_policy = key;
+  other_policy.policy = "proportional";
+  EXPECT_FALSE(cache.Lookup(other_policy).has_value());
+
+  EXPECT_TRUE(cache.Lookup(key).has_value());
+}
+
+TEST_F(ScheduleCacheFixture, PurgeRemovesOnlyOneTenantWithoutEvictions) {
+  ScheduleCache cache;
+  const ScheduleCacheEntry entry = MakeEntry(ex_.probs);
+  for (std::uint64_t tenant : {1u, 1u, 2u}) {
+    ScheduleCacheKey key =
+        MakeKey({static_cast<double>(cache.size()) / 8.0});
+    key.tenant = tenant;
+    cache.Insert(key, entry);
+  }
+  ASSERT_EQ(cache.size(), 3u);
+
+  EXPECT_EQ(cache.Purge(1), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  // Purged entries are not evictions (the LRU never overflowed).
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  ScheduleCacheKey survivor = MakeKey({2.0 / 8.0});
+  survivor.tenant = 2;
+  EXPECT_TRUE(cache.Lookup(survivor).has_value());
+  EXPECT_EQ(cache.Purge(7), 0u);  // unknown tenant: no-op
+}
+
+TEST_F(ScheduleCacheFixture, ShardedCacheRoutesStatsAndPurgesPerShard) {
+  ShardedScheduleCacheOptions options;
+  options.shards = 4;
+  options.shard_capacity = 8;
+  ShardedScheduleCache cache(options);
+  ASSERT_EQ(cache.shard_count(), 4u);
+
+  // Routing is stable and the returned shard is the indexed one.
+  for (std::uint64_t tenant = 1; tenant <= 12; ++tenant) {
+    EXPECT_EQ(cache.ShardIndex(tenant), cache.ShardIndex(tenant));
+    EXPECT_LT(cache.ShardIndex(tenant), cache.shard_count());
+  }
+
+  const ScheduleCacheEntry entry = MakeEntry(ex_.probs);
+  auto keyed = [&](std::uint64_t tenant) {
+    ScheduleCacheKey key = MakeKey({0.4, 0.6});
+    key.tenant = tenant;
+    return key;
+  };
+  // Find two tenants on distinct shards (mixing spreads consecutive
+  // ids, so a small scan always finds a pair).
+  std::uint64_t a = 1, b = 2;
+  while (cache.ShardIndex(b) == cache.ShardIndex(a)) ++b;
+
+  cache.ShardFor(a).Insert(keyed(a), entry);
+  cache.ShardFor(b).Insert(keyed(b), entry);
+  EXPECT_EQ(cache.size(), 2u);
+
+  EXPECT_TRUE(cache.ShardFor(a).Lookup(keyed(a)).has_value());
+  EXPECT_FALSE(cache.ShardFor(a).Lookup(keyed(b)).has_value())
+      << "tenant b's entry must live on its own shard";
+
+  // Shard-aware stats: hits/misses land on the queried shard only.
+  const std::vector<ShardStats> stats = cache.Stats();
+  ASSERT_EQ(stats.size(), 4u);
+  EXPECT_EQ(stats[cache.ShardIndex(a)].hits, 1u);
+  EXPECT_EQ(stats[cache.ShardIndex(a)].misses, 1u);
+  EXPECT_EQ(stats[cache.ShardIndex(b)].hits, 0u);
+  EXPECT_EQ(stats[cache.ShardIndex(b)].entries, 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Purging tenant a leaves tenant b's shard untouched.
+  EXPECT_EQ(cache.Purge(a), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.ShardFor(b).Lookup(keyed(b)).has_value());
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
 // -------------------------------------------------------------- Metrics
 
 TEST(MetricsTest, CountersAndTimers) {
@@ -409,6 +500,28 @@ TEST(MetricsTest, CsvDumpHasHeaderAndRows) {
   EXPECT_NE(csv.find("metric,kind,value"), std::string::npos);
   EXPECT_NE(csv.find("cache.hits,counter,3"), std::string::npos);
   EXPECT_NE(csv.find("stage.dls"), std::string::npos);
+}
+
+TEST(MetricsTest, DistributionsReportNearestRankQuantiles) {
+  Metrics metrics;
+  EXPECT_EQ(metrics.samples("lat"), 0u);
+  EXPECT_EQ(metrics.quantile("lat", 0.5), 0.0);
+
+  for (int i = 1; i <= 100; ++i) {
+    metrics.Observe("lat", static_cast<double>(i));
+  }
+  EXPECT_EQ(metrics.samples("lat"), 100u);
+  EXPECT_DOUBLE_EQ(metrics.quantile("lat", 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(metrics.quantile("lat", 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(metrics.quantile("lat", 1.0), 100.0);
+
+  std::ostringstream os;
+  metrics.WriteText(os);
+  EXPECT_NE(os.str().find("lat_count 100"), std::string::npos);
+  EXPECT_NE(os.str().find("lat_p99"), std::string::npos);
+
+  metrics.Reset();
+  EXPECT_EQ(metrics.samples("lat"), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,159 @@
+/// \file actg_serve.cpp
+/// The scheduling-as-a-service daemon front end.
+///
+///   actg_serve --requests <file> [--jobs N] [--report <file>]
+///              [--metrics <file>]
+///       Replay a serve-v1 request file: admit every tenant through the
+///       admission controller, drive the fleet on N pool workers and
+///       write the deterministic fleet report to stdout (or --report).
+///       The report is byte-identical for any --jobs value; wall-clock
+///       latency percentiles per SLA class go to stderr, and --metrics
+///       dumps the full metrics registry (counters, stage timers,
+///       latency distributions) as text.
+///
+///   actg_serve synthetic <tenants> <instances> <seed>
+///       Print a deterministic synthetic serve-v1 fleet (the generator
+///       behind bench_serve and the determinism tests) to stdout.
+///
+/// Exit status: 0 on success, 1 on a malformed request file or a
+/// failed replay (diagnostic on stderr), 2 on usage errors.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "runtime/pool.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace actg;
+
+int Usage() {
+  std::cerr << "usage:\n"
+            << "  actg_serve --requests <file> [--jobs N] "
+               "[--report <file>] [--metrics <file>]\n"
+            << "  actg_serve synthetic <tenants> <instances> <seed>\n";
+  return 2;
+}
+
+std::optional<std::size_t> ParseCount(const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(token, &used);
+    if (used != token.size()) return std::nullopt;
+    return static_cast<std::size_t>(value);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+int RunSynthetic(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  const auto tenants = ParseCount(argv[2]);
+  const auto instances = ParseCount(argv[3]);
+  const auto seed = ParseCount(argv[4]);
+  if (!tenants || !instances || !seed) return Usage();
+  serve::WriteServeFile(
+      std::cout,
+      serve::SyntheticFleet(*tenants, *instances,
+                            static_cast<std::uint64_t>(*seed)));
+  return 0;
+}
+
+void PrintLatency(const serve::Server& server, std::ostream& os) {
+  for (std::size_t cls = 0; cls < serve::kSlaClassCount; ++cls) {
+    const auto sla = static_cast<serve::SlaClass>(cls);
+    const serve::LatencyStats stats = server.Latency(sla);
+    os << "latency " << serve::SlaName(sla) << " slices " << stats.slices
+       << " p50_ms " << stats.p50_ms << " p99_ms " << stats.p99_ms
+       << " max_ms " << stats.max_ms << " budget_overruns "
+       << stats.budget_overruns << "\n";
+  }
+}
+
+int RunRequests(int argc, char** argv) {
+  const std::size_t jobs = runtime::ParseJobs(argc, argv);
+  std::string requests_path;
+  std::string report_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto take = [&](const char* flag, std::string& out) {
+      if (arg == flag && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+      }
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        out = arg.substr(prefix.size());
+        return true;
+      }
+      return false;
+    };
+    if (take("--requests", requests_path) ||
+        take("--report", report_path) || take("--metrics", metrics_path)) {
+      continue;
+    }
+    if (arg == "--jobs" && i + 1 < argc) {
+      ++i;  // consumed by ParseJobs
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) continue;
+    std::cerr << "actg_serve: unknown argument '" << arg << "'\n";
+    return Usage();
+  }
+  if (requests_path.empty()) return Usage();
+
+  std::ifstream is(requests_path);
+  if (!is) {
+    std::cerr << "actg_serve: cannot open '" << requests_path << "'\n";
+    return 1;
+  }
+
+  std::ofstream report_file;
+  if (!report_path.empty()) {
+    report_file.open(report_path);
+    if (!report_file) {
+      std::cerr << "actg_serve: cannot write '" << report_path << "'\n";
+      return 1;
+    }
+  }
+  std::ostream& report_os =
+      report_path.empty() ? std::cout : report_file;
+
+  auto server = serve::RunServeFile(is, jobs, report_os);
+  if (!server.ok()) {
+    std::cerr << "actg_serve: " << server.error().message() << "\n";
+    return 1;
+  }
+
+  PrintLatency(*server.value(), std::cerr);
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_os(metrics_path);
+    if (!metrics_os) {
+      std::cerr << "actg_serve: cannot write '" << metrics_path << "'\n";
+      return 1;
+    }
+    server.value()->metrics().WriteText(metrics_os);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 2 && std::strcmp(argv[1], "synthetic") == 0) {
+      return RunSynthetic(argc, argv);
+    }
+    return RunRequests(argc, argv);
+  } catch (const actg::Error& e) {
+    std::cerr << "actg_serve: " << e.what() << "\n";
+    return 1;
+  }
+}
