@@ -149,7 +149,15 @@ AdaptiveHarness ExperimentSpec::BuildAdaptive() const {
   options.threshold = threshold_;
   options.policy = policy_;
   options.trace = trace_;
-  options.schedule_cache = harness.cache_.get();
+  options.cache = runtime::CacheBinding{harness.cache_.get(), 0};
+  options.reschedule.mode = reschedule_mode_;
+  if (reschedule_mode_ == adaptive::RescheduleMode::kTable) {
+    dvfs::ScheduleTableOptions table_options;
+    table_options.policy = policy_;
+    harness.table_ = std::make_unique<dvfs::ScheduleTable>(
+        *graph_, *analysis_, *platform_, table_options);
+    options.reschedule.table = harness.table_.get();
+  }
   options.degrade = degrade_;
   harness.controller_ = std::make_unique<adaptive::AdaptiveController>(
       *graph_, *analysis_, *platform_, *profile_, options);

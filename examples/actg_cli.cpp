@@ -20,6 +20,11 @@
 ///       controller's graceful-degradation ladder; --no-degrade keeps
 ///       the ladder off for ablation. Without --faults the output is
 ///       identical to previous releases.
+///       --reschedule-mode <full|incremental|table> selects how the
+///       adaptive controller recomputes on a threshold crossing: a full
+///       DLS + stretch pass (default, the reference semantics),
+///       warm-started incremental DLS, or selection from a precomputed
+///       schedule table (see adaptive::RescheduleMode).
 ///
 /// Every command also understands --trace <file> (or the ACTG_TRACE
 /// environment variable): the run's instrumented stages are written as
@@ -68,21 +73,23 @@ int Usage() {
          "[ref1|ref2|--policy <" +
              policies + ">]\n"
       << "  actg_cli simulate <ctg.txt> <platform.txt> <instances> "
-         "<seed> [--faults <plan> [--no-degrade]]\n"
+         "<seed> [--faults <plan> [--no-degrade]] "
+         "[--reschedule-mode <full|incremental|table>]\n"
       << "common options: --trace <file> (Chrome trace JSON + timeline "
          "CSV)\n";
   return 2;
 }
 
-/// Fault-injection flags of the simulate command, stripped from argv
-/// before positional parsing (mirroring obs::ParseTracePath).
-struct FaultFlags {
+/// Optional flags of the simulate command, stripped from argv before
+/// positional parsing (mirroring obs::ParseTracePath).
+struct SimulateFlags {
   std::optional<std::string> plan_path;
   bool no_degrade = false;
+  adaptive::RescheduleMode reschedule_mode = adaptive::RescheduleMode::kFull;
 };
 
-FaultFlags ParseFaultFlags(int& argc, char** argv) {
-  FaultFlags flags;
+SimulateFlags ParseSimulateFlags(int& argc, char** argv) {
+  SimulateFlags flags;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,6 +99,17 @@ FaultFlags ParseFaultFlags(int& argc, char** argv) {
       flags.plan_path = arg.substr(std::strlen("--faults="));
     } else if (arg == "--no-degrade") {
       flags.no_degrade = true;
+    } else if ((arg == "--reschedule-mode" && i + 1 < argc) ||
+               arg.rfind("--reschedule-mode=", 0) == 0) {
+      const std::string name =
+          arg == "--reschedule-mode"
+              ? argv[++i]
+              : arg.substr(std::strlen("--reschedule-mode="));
+      const auto mode = adaptive::ParseRescheduleMode(name);
+      ACTG_CHECK(mode.has_value(),
+                 "unknown --reschedule-mode '" + name +
+                     "' (expected full, incremental or table)");
+      flags.reschedule_mode = *mode;
     } else {
       argv[out++] = argv[i];
     }
@@ -181,7 +199,7 @@ int CmdSchedule(int argc, char** argv) {
   return 0;
 }
 
-int CmdSimulate(int argc, char** argv, const FaultFlags& flags) {
+int CmdSimulate(int argc, char** argv, const SimulateFlags& flags) {
   if (argc != 6) return Usage();
   const ctg::Ctg graph = LoadCtg(argv[2]);
   const arch::Platform platform = LoadPlatform(argv[3]);
@@ -209,7 +227,8 @@ int CmdSimulate(int argc, char** argv, const FaultFlags& flags) {
         .Cell(0)
         .Cell(base.deadline_misses);
     bench::ExperimentSpec spec(graph, analysis, platform);
-    spec.WithProfile(profile).WithWindow(20);
+    spec.WithProfile(profile).WithWindow(20).WithRescheduleMode(
+        flags.reschedule_mode);
     for (double threshold : {0.5, 0.1}) {
       bench::AdaptiveHarness harness =
           spec.WithThreshold(threshold).BuildAdaptive();
@@ -251,7 +270,8 @@ int CmdSimulate(int argc, char** argv, const FaultFlags& flags) {
       .Cell(base.overrun_instances)
       .Cell(0);
   bench::ExperimentSpec spec(graph, analysis, platform);
-  spec.WithProfile(profile).WithWindow(20);
+  spec.WithProfile(profile).WithWindow(20).WithRescheduleMode(
+      flags.reschedule_mode);
   if (!flags.no_degrade) {
     adaptive::DegradeOptions degrade;
     degrade.enabled = true;
@@ -282,14 +302,14 @@ int CmdSimulate(int argc, char** argv, const FaultFlags& flags) {
 
 int main(int argc, char** argv) {
   actg::obs::ScopedTracing tracing(argc, argv);
-  const FaultFlags fault_flags = ParseFaultFlags(argc, argv);
+  const SimulateFlags simulate_flags = ParseSimulateFlags(argc, argv);
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   try {
     if (command == "generate") return CmdGenerate(argc, argv);
     if (command == "schedule") return CmdSchedule(argc, argv);
     if (command == "simulate")
-      return CmdSimulate(argc, argv, fault_flags);
+      return CmdSimulate(argc, argv, simulate_flags);
   } catch (const actg::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "check/validator.h"
 #include "runtime/fingerprint.h"
 #include "runtime/metrics.h"
 #include "sim/energy.h"
@@ -11,30 +10,6 @@
 namespace actg::adaptive {
 
 namespace {
-
-/// Fingerprint of every configuration knob that influences the produced
-/// schedule (the cache key must distinguish configs, not just inputs).
-std::uint64_t FingerprintConfig(const AdaptiveOptions& options) {
-  std::uint64_t fp = 0x9E3779B97F4A7C15ULL;
-  fp = runtime::HashCombine(
-      fp, static_cast<std::uint64_t>(options.dls.level_policy));
-  fp = runtime::HashCombine(fp, options.dls.mutex_aware ? 1 : 2);
-  if (options.dls.fixed_mapping != nullptr) {
-    for (PeId pe : *options.dls.fixed_mapping) {
-      fp = runtime::HashCombine(fp, static_cast<std::uint64_t>(pe.value));
-    }
-  }
-  // Only folded in when restricting, so fingerprints (and the timeline
-  // unit ids derived from them) of mask-free configs are unchanged.
-  if (!options.dls.available_pes.IsAll()) {
-    fp = runtime::HashCombine(fp, options.dls.available_pes.removed_bits());
-  }
-  fp = runtime::HashCombine(fp, options.stretch.max_paths);
-  for (const char c : options.policy) {
-    fp = runtime::HashCombine(fp, static_cast<std::uint64_t>(c));
-  }
-  return fp;
-}
 
 /// Timeline-unit fingerprint: distinguishes controllers traced into the
 /// same session (e.g. the two thresholds of one comparison run).
@@ -54,6 +29,20 @@ std::uint64_t FingerprintUnit(std::uint64_t graph_fp,
 AdaptiveOptions Validated(AdaptiveOptions options) {
   options.Validate().ThrowIfError();
   return options;
+}
+
+/// The facade sees exactly the controller's scheduling-relevant knobs;
+/// everything else (window, threshold, ladder) stays controller-side.
+ReschedulerConfig MakeReschedulerConfig(const AdaptiveOptions& options) {
+  ReschedulerConfig config;
+  config.dls = options.dls;
+  config.stretch = options.stretch;
+  config.policy = options.policy;
+  config.cache = options.cache;
+  config.reschedule = options.reschedule;
+  config.metrics = options.metrics;
+  config.validate_schedules = options.validate_schedules;
+  return config;
 }
 
 }  // namespace
@@ -94,6 +83,7 @@ util::Error AdaptiveOptions::Validate() const {
   if (util::Error err = dls.Validate()) return err;
   if (util::Error err = stretch.Validate()) return err;
   if (util::Error err = degrade.Validate()) return err;
+  if (util::Error err = reschedule.Validate()) return err;
   return {};
 }
 
@@ -105,33 +95,15 @@ AdaptiveController::AdaptiveController(
       analysis_(&analysis),
       platform_(&platform),
       options_(Validated(options)),
-      policy_(&dvfs::GetPolicy(options.policy)),
       in_use_(std::move(initial_probs)),
       profiler_(graph, options.window_length),
-      graph_fingerprint_(runtime::FingerprintCtg(graph)),
-      platform_fingerprint_(runtime::FingerprintPlatform(platform)),
-      config_fingerprint_(FingerprintConfig(options)),
-      unit_fingerprint_(FingerprintUnit(graph_fingerprint_,
-                                        config_fingerprint_, options)),
-      engine_(std::make_unique<dvfs::PathEngine>(
-          graph, analysis, platform,
-          dvfs::PathEngineOptions{.max_paths = options.stretch.max_paths})),
-      schedule_(Reschedule()) {}
-
-runtime::ScheduleCacheKey AdaptiveController::CacheKey() const {
-  runtime::ScheduleCacheKey key;
-  key.graph_fingerprint = graph_fingerprint_;
-  key.platform_fingerprint = platform_fingerprint_;
-  key.config_fingerprint = config_fingerprint_;
-  key.tenant = options_.cache_tenant;
-  key.policy = options_.policy;
-  for (TaskId fork : graph_->ForkIds()) {
-    for (int o = 0; o < graph_->OutcomeCount(fork); ++o) {
-      key.probs.push_back(in_use_.Outcome(fork, o));
-    }
-  }
-  return key;
-}
+      rescheduler_(std::make_unique<Rescheduler>(
+          graph, analysis, platform, MakeReschedulerConfig(options_))),
+      unit_fingerprint_(FingerprintUnit(rescheduler_->graph_fingerprint(),
+                                        rescheduler_->config_fingerprint(),
+                                        options_)),
+      schedule_(Reschedule(RescheduleRequest{options_.dls.available_pes,
+                                             0.0, "initial"})) {}
 
 obs::TraceSession* AdaptiveController::TraceTarget() const {
   return options_.trace != nullptr ? options_.trace
@@ -143,59 +115,9 @@ runtime::Metrics& AdaptiveController::MetricsTarget() const {
                                      : runtime::Metrics::Global();
 }
 
-sched::Schedule AdaptiveController::Reschedule() const {
-  return Reschedule(options_.dls.available_pes, 0.0);
-}
-
 sched::Schedule AdaptiveController::Reschedule(
-    const arch::PeMask& available, double speed_floor) const {
-  const runtime::ScopedTimer stage_timer(MetricsTarget(),
-                                         "stage.reschedule");
-  obs::ScopedSpan span(TraceTarget(), "adaptive.reschedule", "adaptive");
-  // Degraded reschedules (restricted PEs and/or a speed floor) bypass
-  // the cache: its key encodes neither constraint, and a degraded
-  // schedule must never be served back to a healthy lookup.
-  const bool degraded =
-      !(available == options_.dls.available_pes) || speed_floor != 0.0;
-  runtime::ScheduleCacheKey key;
-  if (options_.schedule_cache != nullptr && !degraded) {
-    key = CacheKey();
-    if (std::optional<runtime::ScheduleCacheEntry> cached =
-            options_.schedule_cache->Lookup(key)) {
-      if (span.enabled()) span.AddArg(obs::IntArg("cached", 1));
-      return std::move(cached->schedule);
-    }
-  }
-  if (span.enabled()) {
-    span.AddArg(obs::IntArg("cached", 0));
-    if (degraded) span.AddArg(obs::IntArg("degraded", 1));
-  }
-  // Both stages run on the controller's reusable workspace: RunDls
-  // borrows the engine's DLS scratch buffers, the stretch policy the
-  // path enumeration pools. Results are identical to workspace-free
-  // calls.
-  sched::DlsOptions dls = options_.dls;
-  dls.available_pes = available;
-  sched::Schedule schedule =
-      sched::RunDls(*graph_, *analysis_, *platform_, in_use_, dls,
-                    &engine_->dls_workspace());
-  dvfs::PolicyContext ctx;
-  ctx.schedule = &schedule;
-  ctx.probs = &in_use_;
-  ctx.stretch = options_.stretch;
-  ctx.speed_floor = speed_floor;
-  const dvfs::StretchStats stats = policy_->Apply(*engine_, ctx);
-  if (options_.validate_schedules) {
-    check::Expectations expect;
-    expect.available_pes = available;
-    expect.speed_floor = speed_floor;
-    check::Validate(schedule, expect);
-  }
-  if (options_.schedule_cache != nullptr && !degraded) {
-    options_.schedule_cache->Insert(
-        key, runtime::ScheduleCacheEntry{schedule, stats});
-  }
-  return schedule;
+    const RescheduleRequest& request) {
+  return rescheduler_->Reschedule(in_use_, request, TraceTarget()).schedule;
 }
 
 void AdaptiveController::RecordTimeline(
@@ -295,7 +217,8 @@ sim::InstanceResult AdaptiveController::ProcessInstance(
     // the new distribution estimate: the windowed estimate is noisy
     // (stddev ~ sqrt(p(1-p)/L)), and blindly adopting every candidate
     // would let sampling noise undo the adaptation gains.
-    sched::Schedule candidate = Reschedule();
+    sched::Schedule candidate = Reschedule(
+        RescheduleRequest{options_.dls.available_pes, 0.0, "threshold"});
     ++reschedule_count_;
     MetricsTarget().Increment("adaptive.reschedule_calls");
     if (sim::ExpectedEnergy(candidate, in_use_) <
@@ -363,7 +286,8 @@ bool AdaptiveController::RunLadder(const sim::InstanceResult& result,
     clean_streak_ = 0;
     retries_used_ = 0;
     next_retry_instance_ = 0;
-    schedule_ = Reschedule();
+    schedule_ = Reschedule(
+        RescheduleRequest{options_.dls.available_pes, 0.0, "recovery"});
     ++recovery_count_;
     metrics.Increment("degrade.recoveries");
     LogDegrade(trace, DegradeLevel::kNormal, "clean_streak");
@@ -425,7 +349,8 @@ bool AdaptiveController::RunLadder(const sim::InstanceResult& result,
   const arch::PeMask oob_mask = arch::PeMask::WithoutBits(
       options_.dls.available_pes.removed_bits() |
       excluded_pes_.removed_bits());
-  schedule_ = Reschedule(oob_mask, speed_floor_);
+  schedule_ = Reschedule(
+      RescheduleRequest{oob_mask, speed_floor_, "degraded"});
   recent_misses_.clear();
   level_ = DegradeLevel::kFallback;
   ++escalation_count_;

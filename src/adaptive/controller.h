@@ -18,12 +18,11 @@
 #include <string>
 #include <vector>
 
+#include "adaptive/rescheduler.h"
 #include "arch/platform.h"
 #include "ctg/activation.h"
 #include "ctg/condition.h"
-#include "dvfs/path_engine.h"
 #include "faults/injector.h"
-#include "dvfs/policy.h"
 #include "dvfs/stretch.h"
 #include "obs/trace.h"
 #include "profiling/window.h"
@@ -109,22 +108,23 @@ struct AdaptiveOptions {
   /// consulted per instance (so bench --trace reaches controllers built
   /// without explicit wiring).
   obs::TraceSession* trace = nullptr;
-  /// Optional schedule memoization. When set, every online scheduling +
-  /// DVFS call first consults the cache (exact probability match), so
-  /// revisited operating points become O(1) lookups without changing
-  /// any result; computed schedules are inserted back. The cache may be
-  /// shared between controllers (it is thread-safe and keyed by graph/
-  /// platform/config fingerprints, the policy name and cache_tenant),
-  /// and must outlive the controller. Multi-tenant servers typically
-  /// pass a runtime::ShardedScheduleCache shard here (ShardFor(tenant))
-  /// together with the matching cache_tenant below.
-  runtime::ScheduleCache* schedule_cache = nullptr;
-  /// Tenant id folded into every cache key. Controllers with different
-  /// tenants never share entries (and a tenant's entries can be dropped
-  /// with ScheduleCache::Purge); 0 — the default every single-tenant
-  /// caller keeps — leaves the key space shared, which is the explicit
-  /// cross-controller sharing mode.
-  std::uint64_t cache_tenant = 0;
+  /// Optional schedule memoization: the cache to consult and the tenant
+  /// id its keys carry, in one value (see runtime::CacheBinding). When
+  /// bound, every online scheduling + DVFS call first consults the
+  /// exact tier (tier-1 probability match), so revisited operating
+  /// points become O(1) lookups without changing any result; computed
+  /// schedules are inserted back, and in incremental reschedule mode
+  /// the tier-2 near-index additionally serves warm-start seeds. The
+  /// cache may be shared between controllers (it is thread-safe and
+  /// keyed by graph/platform/config fingerprints, the policy name and
+  /// the binding's tenant) and must outlive the controller.
+  /// Multi-tenant servers typically bind a ShardedScheduleCache shard:
+  /// CacheBinding{&sharded.ShardFor(tenant), tenant}.
+  runtime::CacheBinding cache;
+  /// Reschedule ladder configuration: full recompute (default),
+  /// warm-start incremental DLS, or precomputed-table selection (see
+  /// adaptive::RescheduleOptions / the Rescheduler facade).
+  RescheduleOptions reschedule;
   /// Metrics registry the controller reports its stage timers and
   /// counters into; nullptr (the default) means the process-wide
   /// runtime::Metrics::Global(). A multi-tenant host passes its own
@@ -162,7 +162,7 @@ struct AdaptiveOptions {
 /// only process-wide services it touches are explicitly injectable:
 /// the metrics registry (options.metrics, default Global()), the trace
 /// session (options.trace, default Current()) and the schedule cache
-/// (options.schedule_cache, default none); the dvfs::Policy registry is
+/// (options.cache, default unbound); the dvfs::Policy registry is
 /// resolved once at construction and policies themselves are stateless.
 /// A single controller instance is NOT thread-safe — drive each one
 /// from one thread at a time.
@@ -225,15 +225,16 @@ class AdaptiveController {
     return profiler_;
   }
 
+  /// The reschedule facade this controller drives: tier counts
+  /// (exact / warm / table / full outcomes) and fingerprints.
+  const Rescheduler& rescheduler() const { return *rescheduler_; }
+
  private:
-  sched::Schedule Reschedule() const;
-  /// Reschedule with degraded operating constraints: \p available
-  /// restricts the PEs DLS may place on, \p speed_floor clamps the
-  /// stretcher (see dvfs::PolicyContext). Degraded results bypass the
-  /// schedule cache — its key encodes neither constraint.
-  sched::Schedule Reschedule(const arch::PeMask& available,
-                             double speed_floor) const;
-  runtime::ScheduleCacheKey CacheKey() const;
+  /// One reschedule through the facade (see adaptive::Rescheduler): the
+  /// request carries the PE mask and speed floor, the facade owns the
+  /// cache consultation and the tier ladder. Returns the schedule only;
+  /// tier accounting lives in the facade.
+  sched::Schedule Reschedule(const RescheduleRequest& request);
   /// The session this controller records into (explicit or current).
   obs::TraceSession* TraceTarget() const;
   /// The metrics registry this controller reports into (explicit or
@@ -254,20 +255,15 @@ class AdaptiveController {
   const ctg::ActivationAnalysis* analysis_;
   const arch::Platform* platform_;
   AdaptiveOptions options_;
-  const dvfs::Policy* policy_;
   ctg::BranchProbabilities in_use_;
   profiling::SlidingWindowProfiler profiler_;
-  std::uint64_t graph_fingerprint_ = 0;
-  std::uint64_t platform_fingerprint_ = 0;
-  std::uint64_t config_fingerprint_ = 0;
+  // The reschedule facade: owns the cache keying, the tier ladder and
+  // the reusable reschedule workspace — must precede unit_fingerprint_
+  // (derived from its fingerprints) and schedule_ (whose initializer
+  // runs Reschedule()). unique_ptr so the controller stays movable.
+  std::unique_ptr<Rescheduler> rescheduler_;
   std::uint64_t unit_fingerprint_ = 0;
   std::uint64_t instances_processed_ = 0;
-  // Reusable reschedule workspace (path enumeration + DLS scratch),
-  // constructed once per controller and shared by every Reschedule()
-  // call, including the initial one — must precede schedule_, whose
-  // initializer runs Reschedule(). unique_ptr so the controller stays
-  // movable and Reschedule() can use the engine from a const method.
-  std::unique_ptr<dvfs::PathEngine> engine_;
   sched::Schedule schedule_;
   std::size_t reschedule_count_ = 0;
 

@@ -178,6 +178,11 @@ std::vector<FuzzCase> KnobCandidates(const FuzzCase& c) {
     mutate(cand);
     candidates.push_back(std::move(cand));
   };
+  if (c.reschedule_mode != adaptive::RescheduleMode::kFull) {
+    with([](FuzzCase& x) {
+      x.reschedule_mode = adaptive::RescheduleMode::kFull;
+    });
+  }
   if (c.adaptive) with([](FuzzCase& x) { x.adaptive = false; });
   if (c.with_faults) {
     with([](FuzzCase& x) {
@@ -225,6 +230,11 @@ FuzzCaseSpec RandomSpec(const util::Random& root, std::uint64_t index) {
   spec.trace_instances =
       static_cast<std::size_t>(rng.UniformInt(12, 40));
   spec.adaptive = rng.Bernoulli(0.3);
+  // A slice of the adaptive cases drives the warm-start path with the
+  // built-in differential check armed (see FuzzCase::reschedule_mode).
+  if (spec.adaptive && rng.Bernoulli(0.35)) {
+    spec.reschedule_mode = adaptive::RescheduleMode::kIncremental;
+  }
   if (rng.Bernoulli(0.4)) {
     spec.with_faults = true;
     spec.faults.intensity = rng.Uniform(0.3, 1.0);
@@ -248,8 +258,8 @@ FuzzCase Materialize(const FuzzCaseSpec& spec) {
                   spec.policy,           spec.mutex_aware,
                   spec.prob_weighted,    spec.masked_pes,
                   spec.prob_seed,        spec.trace_instances,
-                  spec.adaptive,         spec.with_faults,
-                  spec.faults};
+                  spec.adaptive,         spec.reschedule_mode,
+                  spec.with_faults,      spec.faults};
 }
 
 ctg::BranchProbabilities CaseProbabilities(const ctg::Ctg& graph,
@@ -343,6 +353,22 @@ Report RunCase(const FuzzCase& c) {
       options.dls = dls;
       options.policy = c.policy;
       options.validate_schedules = true;
+      options.reschedule.mode = c.reschedule_mode;
+      std::optional<dvfs::ScheduleTable> table;
+      if (c.reschedule_mode == adaptive::RescheduleMode::kIncremental) {
+        // Every warm-started result is differentially checked against a
+        // from-scratch recompute inside the facade.
+        options.reschedule.verify_incremental = true;
+      } else if (c.reschedule_mode == adaptive::RescheduleMode::kTable) {
+        // Corner-point lattice (points_per_fork = 2) keeps the table
+        // small for arbitrary fuzzed fork/outcome counts.
+        dvfs::ScheduleTableOptions table_options;
+        table_options.points_per_fork = 2;
+        table_options.dls = dls;
+        table_options.policy = c.policy;
+        table.emplace(c.graph, analysis, c.platform, table_options);
+        options.reschedule.table = &*table;
+      }
       adaptive::AdaptiveController controller(c.graph, analysis,
                                               c.platform, probs, options);
       if (injector.has_value()) {
@@ -417,6 +443,8 @@ void WriteRepro(std::ostream& os, const FuzzCase& c) {
   os << "prob_seed " << c.prob_seed << "\n";
   os << "trace_instances " << c.trace_instances << "\n";
   os << "adaptive " << (c.adaptive ? 1 : 0) << "\n";
+  os << "reschedule " << adaptive::RescheduleModeName(c.reschedule_mode)
+     << "\n";
   if (c.with_faults) {
     os << "faults\n";
     faults::WriteFaultPlan(os, c.faults);
@@ -443,6 +471,7 @@ util::Expected<FuzzCase> ParseRepro(std::istream& is) {
   std::uint64_t prob_seed = 1;
   std::size_t trace_instances = 24;
   bool adaptive = false;
+  adaptive::RescheduleMode reschedule_mode = adaptive::RescheduleMode::kFull;
   bool with_faults = false;
   faults::FaultPlan fault_plan;
   std::optional<ctg::Ctg> graph;
@@ -476,6 +505,14 @@ util::Expected<FuzzCase> ParseRepro(std::istream& is) {
       int value = 0;
       if (!(split >> value)) return fail("adaptive needs 0|1");
       adaptive = value != 0;
+    } else if (directive == "reschedule") {
+      std::string name;
+      if (!(split >> name)) return fail("reschedule needs a mode name");
+      const auto mode = adaptive::ParseRescheduleMode(name);
+      if (!mode.has_value()) {
+        return fail("unknown reschedule mode '" + name + "'");
+      }
+      reschedule_mode = *mode;
     } else if (directive == "faults") {
       util::Expected<faults::FaultPlan> plan = faults::ParseFaultPlan(is);
       if (!plan.ok()) return plan.error();
@@ -508,8 +545,8 @@ util::Expected<FuzzCase> ParseRepro(std::istream& is) {
                   std::move(policy), mutex_aware,
                   prob_weighted,     masked_pes,
                   prob_seed,         trace_instances,
-                  adaptive,          with_faults,
-                  std::move(fault_plan)};
+                  adaptive,          reschedule_mode,
+                  with_faults,       std::move(fault_plan)};
 }
 
 }  // namespace actg::check

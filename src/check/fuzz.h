@@ -29,6 +29,7 @@
 #include <ostream>
 #include <string>
 
+#include "adaptive/rescheduler.h"
 #include "arch/platform.h"
 #include "check/validator.h"
 #include "ctg/graph.h"
@@ -51,6 +52,11 @@ struct FuzzCase {
   std::uint64_t prob_seed = 1;    ///< branch probabilities + trace seed
   std::size_t trace_instances = 24;
   bool adaptive = false;          ///< also run the adaptive controller
+  /// Reschedule mode of the adaptive controller. Incremental cases run
+  /// with verify_incremental armed, so every warm-started result is
+  /// differentially checked against a from-scratch recompute inside the
+  /// pipeline; table cases precompute a corner-point lattice.
+  adaptive::RescheduleMode reschedule_mode = adaptive::RescheduleMode::kFull;
   bool with_faults = false;
   faults::FaultPlan faults;
 };
@@ -68,6 +74,7 @@ struct FuzzCaseSpec {
   std::uint64_t prob_seed = 1;
   std::size_t trace_instances = 24;
   bool adaptive = false;
+  adaptive::RescheduleMode reschedule_mode = adaptive::RescheduleMode::kFull;
   bool with_faults = false;
   faults::FaultPlan faults;
 };

@@ -91,6 +91,11 @@ void PathEngine::Enumerate(const sched::Schedule& schedule,
       VisitDnf(schedule, source, 0, drop_unrealizable);
     }
   }
+  nominal_state_.resize(paths_.size());
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    nominal_state_[i] = {paths_[i].delay_ms, paths_[i].unlocked_ms};
+  }
+  ++enumeration_id_;
   runtime::Metrics::Global().Increment("engine.paths", paths_.size());
   if (span.enabled()) {
     span.AddArg(obs::IntArg("paths",
@@ -245,6 +250,14 @@ void PathEngine::CommitTask(TaskId task, double extra_ms,
     paths_[i].delay_ms += extra_ms;
     paths_[i].unlocked_ms =
         std::max(paths_[i].unlocked_ms - nominal_ms, 0.0);
+  }
+}
+
+void PathEngine::RewindCommits() {
+  runtime::Metrics::Global().Increment("engine.rewinds");
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    paths_[i].delay_ms = nominal_state_[i].first;
+    paths_[i].unlocked_ms = nominal_state_[i].second;
   }
 }
 

@@ -33,8 +33,10 @@
 #define ACTG_DVFS_PATH_ENGINE_H
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "arch/platform.h"
@@ -124,6 +126,20 @@ class PathEngine {
   /// Commits a stretched-and-locked task (see PathSet::CommitTask).
   void CommitTask(TaskId task, double extra_ms, double nominal_ms);
 
+  /// Restores every path's delay/unlocked state to its value right
+  /// after the last Enumerate(), undoing all CommitTask() calls since.
+  /// This is the delta re-enumeration primitive of the warm-start
+  /// reschedule path: when the scheduled DAG's shape is unchanged from
+  /// the last enumeration (same per-PE task sequences), a stretcher can
+  /// rewind instead of re-running the DFS. No-op before the first
+  /// enumeration.
+  void RewindCommits();
+
+  /// Monotonic count of Enumerate() calls, so callers can detect that
+  /// the enumeration they captured is still the engine's current one
+  /// (RewindCommits() would otherwise rewind to a different shape).
+  std::uint64_t enumeration_id() const { return enumeration_id_; }
+
   /// Largest delay over all paths of the current enumeration.
   double MaxDelay() const;
 
@@ -175,6 +191,10 @@ class PathEngine {
 
   // Current enumeration (flat pools; cleared keeping capacity).
   std::vector<PathRecord> paths_;
+  /// Post-enumeration (delay_ms, unlocked_ms) per path, the rewind
+  /// target of RewindCommits().
+  std::vector<std::pair<double, double>> nominal_state_;
+  std::uint64_t enumeration_id_ = 0;
   std::vector<TaskId> task_pool_;
   std::vector<std::optional<EdgeId>> edge_pool_;
   std::vector<ctg::BitMinterm> guard_pool_;

@@ -20,7 +20,8 @@ class OnlinePolicy final : public Policy {
                        PolicyContext& ctx) const override {
     ACTG_CHECK(ctx.probs != nullptr,
                "policy 'online' requires branch probabilities");
-    return StretchOnline(*ctx.schedule, *ctx.probs, ctx.stretch, &engine);
+    return StretchOnline(*ctx.schedule, *ctx.probs, ctx.stretch, &engine,
+                         ctx.warm);
   }
 };
 
@@ -31,7 +32,8 @@ class ProportionalPolicy final : public Policy {
  protected:
   StretchStats DoApply(PathEngine& engine,
                        PolicyContext& ctx) const override {
-    return StretchProportional(*ctx.schedule, ctx.stretch, &engine);
+    return StretchProportional(*ctx.schedule, ctx.stretch, &engine,
+                               ctx.warm);
   }
 };
 

@@ -49,6 +49,11 @@ struct PolicyContext {
   /// voltage-scales into the deadline it is trying to save; raising
   /// speeds only shortens paths, so a feasible stretch stays feasible.
   double speed_floor = 0.0;
+  /// Optional warm-start seed (see dvfs::StretchWarmStart). Honored by
+  /// "online" and "proportional"; "nlp" ignores it and recomputes from
+  /// scratch. Ignoring a warm start is always correct — it only trades
+  /// speed for recomputation.
+  const StretchWarmStart* warm = nullptr;
 };
 
 /// One named stretcher. Implementations are stateless and immutable, so

@@ -31,6 +31,7 @@
 #define ACTG_DVFS_STRETCH_H
 
 #include <cstddef>
+#include <vector>
 
 #include "ctg/condition.h"
 #include "sched/schedule.h"
@@ -39,6 +40,33 @@
 namespace actg::dvfs {
 
 class PathEngine;
+
+/// Warm-start seed for the stretchers (the incremental reschedule
+/// path). A seed replays a previously committed speed assignment for
+/// every *clean* task — the extension the seed speed implies is granted
+/// directly, clamped so no spanning path can cross the deadline — and
+/// runs the full slack computation only for *dirty* tasks. The result
+/// is always deadline-feasible (every grant is individually clamped)
+/// and degenerates to the bit-identical full computation when the seed
+/// was produced for the same probabilities and shape (the clamp never
+/// binds on an unchanged trajectory). Probability-aware optimality of
+/// clean-task speeds is that of the seed's operating point; the drift
+/// is bounded by whatever produced the seed (tier-2 quantization bucket
+/// or the controller's threshold). StretchNlp ignores warm starts.
+struct StretchWarmStart {
+  /// Per task.index(): the seed schedule's committed speed ratio.
+  const std::vector<double>* seed_speed = nullptr;
+  /// Per task.index(): nonzero forces the full slack computation (the
+  /// dirty region of the probability delta, plus any task whose
+  /// placement differs from the seed's).
+  const std::vector<char>* dirty = nullptr;
+  /// When true, the caller guarantees the engine's current enumeration
+  /// was built for a schedule with this exact scheduled-DAG shape (same
+  /// per-PE task sequences at nominal speeds): the stretcher rewinds
+  /// the engine's committed delays instead of re-enumerating. Only
+  /// meaningful with a caller-owned engine.
+  bool reuse_enumeration = false;
+};
 
 /// Diagnostics returned by every stretcher.
 struct StretchStats {
@@ -62,16 +90,20 @@ struct StretchOptions {
 
 /// The paper's online task stretching heuristic (Fig. 2). Requires a
 /// positive deadline on the schedule's graph. \p probs must cover every
-/// fork. Updates speed ratios in place and recomputes the schedule times.
+/// fork. Updates speed ratios in place and recomputes the schedule
+/// times. \p warm optionally replays a seed assignment for clean tasks
+/// (see StretchWarmStart).
 StretchStats StretchOnline(sched::Schedule& schedule,
                            const ctg::BranchProbabilities& probs,
                            const StretchOptions& options = {},
-                           PathEngine* engine = nullptr);
+                           PathEngine* engine = nullptr,
+                           const StretchWarmStart* warm = nullptr);
 
 /// Probability-blind slack distribution (Reference Algorithm 1 stage 2).
 StretchStats StretchProportional(sched::Schedule& schedule,
                                  const StretchOptions& options = {},
-                                 PathEngine* engine = nullptr);
+                                 PathEngine* engine = nullptr,
+                                 const StretchWarmStart* warm = nullptr);
 
 /// Configuration of the convex-solver stretcher.
 struct NlpOptions {

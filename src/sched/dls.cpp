@@ -63,6 +63,10 @@ util::Error DlsOptions::Validate() const {
       }
     }
   }
+  if (pinned_mapping != nullptr && pinned_mapping->empty()) {
+    return util::Error::Invalid(
+        "DlsOptions: pinned_mapping, when set, must not be empty");
+  }
   if (available_pes.removed_bits() == ~0ULL) {
     return util::Error::Invalid(
         "DlsOptions: available_pes must leave at least one PE");
@@ -98,6 +102,14 @@ Schedule RunDls(const ctg::Ctg& graph,
   if (options.fixed_mapping != nullptr) {
     ACTG_CHECK(options.fixed_mapping->size() == n,
                "fixed_mapping must assign a PE to every task");
+  }
+  if (options.pinned_mapping != nullptr) {
+    ACTG_CHECK(options.pinned_mapping->size() == n,
+               "pinned_mapping must carry an entry for every task");
+    for (PeId pe : *options.pinned_mapping) {
+      ACTG_CHECK(!pe.valid() || options.available_pes.Contains(pe),
+                 "pinned_mapping pins a task to an unavailable PE");
+    }
   }
   ACTG_CHECK(options.available_pes.CountAvailable(platform.pe_count()) > 0,
              "available_pes masks out every PE of the platform");
@@ -181,8 +193,12 @@ Schedule RunDls(const ctg::Ctg& graph,
       for (PeId pe : platform.PeIds()) {
         if (options.fixed_mapping != nullptr) {
           if ((*options.fixed_mapping)[task.index()] != pe) continue;
-        } else if (!options.available_pes.Contains(pe)) {
-          continue;
+        } else {
+          if (options.pinned_mapping != nullptr) {
+            const PeId pin = (*options.pinned_mapping)[task.index()];
+            if (pin.valid() && pin != pe) continue;
+          }
+          if (!options.available_pes.Contains(pe)) continue;
         }
         const double at = earliest_start(task, pe);
         const double delta = avg_wcet - platform.Wcet(task, pe);

@@ -39,6 +39,15 @@ struct DlsOptions {
   /// which orders and stretches tasks on a *given* mapping ("tasks that
   /// are mapped to the same processor are ordered for a maximum slack").
   const std::vector<PeId>* fixed_mapping = nullptr;
+  /// When set (one entry per task, invalid PeId = unconstrained), tasks
+  /// with a valid entry are pinned to that PE while the rest map
+  /// freely. This is the warm-start mode of the incremental
+  /// rescheduler: clean tasks keep the prior mapping (their candidate
+  /// loop collapses from |PEs| evaluations to one), dirty tasks re-map.
+  /// Ordering and start times are still computed globally, so the
+  /// result is a complete, feasible schedule either way. Ignored when a
+  /// fixed_mapping pins every placement; pinned PEs must be available.
+  const std::vector<PeId>* pinned_mapping = nullptr;
   /// PE availability: masked-out PEs (e.g. dropped-out ones the
   /// degradation ladder excludes) receive no task. Ignored when a
   /// fixed_mapping pins the placement. Default: every PE available.
@@ -46,7 +55,8 @@ struct DlsOptions {
 
   /// Ok when the options are usable: a fixed mapping, when given, must
   /// be non-empty and assign only valid PE ids (RunDls additionally
-  /// checks it covers every task of the graph it is handed), and the
+  /// checks it covers every task of the graph it is handed; a pinned
+  /// mapping may leave entries invalid but must not be empty), and the
   /// availability mask must not remove every PE RunDls could use.
   util::Error Validate() const;
 };

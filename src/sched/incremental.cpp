@@ -1,0 +1,126 @@
+#include "sched/incremental.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace actg::sched {
+
+IncrementalDelta ComputeDirtyRegion(const ctg::Ctg& graph,
+                                    const ctg::ActivationAnalysis& analysis,
+                                    const ctg::BranchProbabilities& before,
+                                    const ctg::BranchProbabilities& after) {
+  const std::size_t n = graph.task_count();
+  IncrementalDelta delta;
+  delta.dirty.assign(n, 0);
+
+  for (TaskId fork : graph.ForkIds()) {
+    bool changed = false;
+    for (int o = 0; o < graph.OutcomeCount(fork); ++o) {
+      if (before.Outcome(fork, o) != after.Outcome(fork, o)) {
+        changed = true;
+        break;
+      }
+    }
+    if (changed) delta.changed_forks.push_back(fork);
+  }
+  if (delta.changed_forks.empty()) return delta;
+
+  // Downstream closure over data edges plus implied fork -> or-node
+  // control dependencies, seeded with the changed forks themselves
+  // (their own probability-weighted level changed too).
+  std::vector<TaskId> stack;
+  const auto mark = [&](TaskId task) {
+    if (delta.dirty[task.index()]) return;
+    delta.dirty[task.index()] = 1;
+    ++delta.dirty_count;
+    stack.push_back(task);
+  };
+  for (TaskId fork : delta.changed_forks) mark(fork);
+  while (!stack.empty()) {
+    const TaskId u = stack.back();
+    stack.pop_back();
+    for (EdgeId eid : graph.OutEdges(u)) {
+      mark(graph.edge(eid).dst);
+    }
+    for (const auto& [fork, or_node] : analysis.ImpliedForkDependencies()) {
+      if (fork == u) mark(or_node);
+    }
+  }
+
+  // Belt and braces: a task whose activation guard mentions a changed
+  // fork is controlled by it even if some graph rewiring hid the path
+  // (the closure above already covers well-formed CTGs).
+  for (TaskId task : graph.TaskIds()) {
+    if (delta.dirty[task.index()]) continue;
+    const std::vector<TaskId> support =
+        analysis.ActivationGuard(task).Support();
+    for (TaskId fork : delta.changed_forks) {
+      if (std::find(support.begin(), support.end(), fork) !=
+          support.end()) {
+        delta.dirty[task.index()] = 1;
+        ++delta.dirty_count;
+        break;
+      }
+    }
+  }
+  return delta;
+}
+
+std::vector<PeId> MappingOf(const Schedule& schedule) {
+  const std::size_t n = schedule.graph().task_count();
+  std::vector<PeId> mapping(n);
+  for (TaskId task : schedule.graph().TaskIds()) {
+    mapping[task.index()] = schedule.placement(task).pe;
+  }
+  return mapping;
+}
+
+IncrementalResult RunIncrementalDls(const ctg::Ctg& graph,
+                                    const ctg::ActivationAnalysis& analysis,
+                                    const arch::Platform& platform,
+                                    const ctg::BranchProbabilities& probs,
+                                    const std::vector<PeId>& basis_mapping,
+                                    const IncrementalDelta& delta,
+                                    const DlsOptions& options,
+                                    double max_dirty_ratio,
+                                    DlsWorkspace* workspace) {
+  ACTG_CHECK(options.pinned_mapping == nullptr,
+             "RunIncrementalDls: options.pinned_mapping is owned by the "
+             "incremental scheduler");
+  const std::size_t n = graph.task_count();
+
+  bool usable = basis_mapping.size() == n &&
+                options.fixed_mapping == nullptr &&
+                delta.dirty_count <=
+                    static_cast<std::size_t>(max_dirty_ratio *
+                                             static_cast<double>(n));
+  std::vector<PeId> pins;
+  if (usable) {
+    pins.assign(n, PeId{});
+    for (std::size_t i = 0; i < n; ++i) {
+      if (delta.dirty[i]) continue;
+      const PeId pe = basis_mapping[i];
+      if (!pe.valid() || !options.available_pes.Contains(pe)) {
+        // The basis predates a mask change; warm-starting from it would
+        // pin onto a PE DLS may not use.
+        usable = false;
+        break;
+      }
+      pins[i] = pe;
+    }
+  }
+
+  if (!usable) {
+    return IncrementalResult{
+        RunDls(graph, analysis, platform, probs, options, workspace),
+        /*fell_back=*/true, delta.dirty_count};
+  }
+  DlsOptions warm = options;
+  warm.pinned_mapping = &pins;
+  return IncrementalResult{
+      RunDls(graph, analysis, platform, probs, warm, workspace),
+      /*fell_back=*/false, delta.dirty_count};
+}
+
+}  // namespace actg::sched

@@ -1,0 +1,103 @@
+/// \file incremental.h
+/// Warm-start incremental rescheduling (dirty-region DLS).
+///
+/// The adaptive controller's hot path recomputes a full DLS + stretch
+/// on every threshold crossing, even when only one fork's probability
+/// estimate moved. But a changed fork probability can only change what
+/// the scheduler *should* do for tasks that are controlled by — or
+/// downstream of — that fork: the activation analysis tells us exactly
+/// which tasks those are. The incremental path therefore
+///
+///   1. diffs the new probability vector against the basis vector the
+///      prior schedule was built with (ComputeDirtyRegion),
+///   2. marks the changed forks and everything reachable from them over
+///      data edges and implied fork->or-node control dependencies (plus
+///      any task whose activation guard mentions a changed fork) as
+///      *dirty*,
+///   3. re-runs DLS with every *clean* task pinned to its prior PE
+///      (DlsOptions::pinned_mapping) — the candidate loop collapses
+///      from |PEs| evaluations to one for clean tasks — while dirty
+///      tasks re-level and re-map freely.
+///
+/// Ordering and start times are recomputed globally, so the result is a
+/// complete schedule satisfying every invariant the oracle checks. It
+/// is *feasibly equivalent* to a full recompute, not bit-identical: the
+/// clean region keeps the prior mapping by construction, which a full
+/// DLS might have moved. When the dirty region exceeds max_dirty_ratio
+/// of the graph (or the basis is unusable under the current PE mask)
+/// the incremental path falls back to a full DLS and reports it.
+///
+/// An empty dirty region degenerates to a fully pinned run, which
+/// reproduces the basis mapping exactly.
+
+#ifndef ACTG_SCHED_INCREMENTAL_H
+#define ACTG_SCHED_INCREMENTAL_H
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/platform.h"
+#include "ctg/activation.h"
+#include "ctg/condition.h"
+#include "ctg/graph.h"
+#include "sched/dls.h"
+#include "sched/schedule.h"
+
+namespace actg::sched {
+
+/// The dirty region induced by a probability update.
+struct IncrementalDelta {
+  /// Forks whose outcome distribution changed (exact comparison),
+  /// in topological fork order.
+  std::vector<TaskId> changed_forks;
+  /// Dense by task index: nonzero when the task must re-map.
+  std::vector<char> dirty;
+  /// Number of dirty tasks.
+  std::size_t dirty_count = 0;
+};
+
+/// Computes the dirty region of moving from \p before to \p after:
+/// the changed forks themselves plus every task downstream of one over
+/// data edges and implied fork->or-node dependencies, plus every task
+/// whose activation guard mentions a changed fork. Both distributions
+/// must cover every fork of \p graph.
+IncrementalDelta ComputeDirtyRegion(const ctg::Ctg& graph,
+                                    const ctg::ActivationAnalysis& analysis,
+                                    const ctg::BranchProbabilities& before,
+                                    const ctg::BranchProbabilities& after);
+
+/// The prior mapping to warm-start from: placement(τ).pe per task.
+std::vector<PeId> MappingOf(const Schedule& schedule);
+
+/// Outcome of one incremental scheduling call.
+struct IncrementalResult {
+  Schedule schedule;
+  /// True when a full DLS ran instead of the warm-started one (dirty
+  /// region too large, or the basis mapping was unusable).
+  bool fell_back = false;
+  /// Dirty tasks of the delta (0 when the probabilities were equal).
+  std::size_t dirty_count = 0;
+};
+
+/// Reschedules \p graph at \p probs, warm-starting from
+/// \p basis_mapping: tasks outside \p delta's dirty region are pinned
+/// to their basis PE, dirty tasks re-map freely. Falls back to a full
+/// RunDls — bit-identical to calling it directly — when
+/// delta.dirty_count > max_dirty_ratio * task_count, when the basis
+/// does not cover the graph, when some clean task's basis PE is not in
+/// options.available_pes, or when options carries a fixed_mapping
+/// (nothing to warm-start). \p options.pinned_mapping must be null; it
+/// is owned by this call.
+IncrementalResult RunIncrementalDls(const ctg::Ctg& graph,
+                                    const ctg::ActivationAnalysis& analysis,
+                                    const arch::Platform& platform,
+                                    const ctg::BranchProbabilities& probs,
+                                    const std::vector<PeId>& basis_mapping,
+                                    const IncrementalDelta& delta,
+                                    const DlsOptions& options,
+                                    double max_dirty_ratio,
+                                    DlsWorkspace* workspace = nullptr);
+
+}  // namespace actg::sched
+
+#endif  // ACTG_SCHED_INCREMENTAL_H

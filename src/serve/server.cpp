@@ -61,8 +61,8 @@ void Server::AdmitArrivals(std::size_t round) {
     SessionOptions session_options;
     const std::uint64_t tenant =
         fleet_.config.share_cache ? 0 : TenantId(i);
-    session_options.cache = &cache_->ShardFor(tenant);
-    session_options.cache_tenant = tenant;
+    session_options.cache =
+        runtime::CacheBinding{&cache_->ShardFor(tenant), tenant};
     session_options.metrics = metrics_;
     session_options.validate = fleet_.config.validate;
     sessions_[i] = std::make_unique<Session>(

@@ -52,8 +52,7 @@ void Session::NewApp() {
   options.window_length = request_.window;
   options.threshold = request_.threshold;
   options.policy = request_.policy;
-  options.schedule_cache = options_.cache;
-  options.cache_tenant = options_.cache_tenant;
+  options.cache = options_.cache;
   options.metrics = options_.metrics;
   options.validate_schedules = options_.validate;
   controller_ = std::make_unique<adaptive::AdaptiveController>(

@@ -62,11 +62,10 @@ struct SessionStatus {
 
 /// Shared wiring a session receives from its server.
 struct SessionOptions {
-  /// Schedule cache shard this tenant's controller consults; may be
-  /// null (no memoization).
-  runtime::ScheduleCache* cache = nullptr;
-  /// Tenant id folded into the cache keys (0 = shared key space).
-  std::uint64_t cache_tenant = 0;
+  /// Schedule cache binding this tenant's controller consults: the
+  /// shard and the tenant id its keys carry, in one value. Default
+  /// (unbound) disables memoization.
+  runtime::CacheBinding cache;
   /// Metrics registry the controller reports into; null = Global().
   runtime::Metrics* metrics = nullptr;
   /// Oracle: validate every freshly computed schedule.
