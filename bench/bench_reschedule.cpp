@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.h"
 #include "adaptive/rescheduler.h"
 #include "apps/common.h"
 #include "ctg/activation.h"
@@ -38,28 +39,6 @@
 namespace {
 
 using namespace actg;
-
-std::size_t FlagValue(int argc, char** argv, const std::string& flag,
-                      std::size_t fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (argv[i] == flag) {
-      try {
-        return static_cast<std::size_t>(std::stoull(argv[i + 1]));
-      } catch (const std::exception&) {
-        return fallback;
-      }
-    }
-  }
-  return fallback;
-}
-
-std::string StringFlag(int argc, char** argv, const std::string& flag,
-                       std::string fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (argv[i] == flag) return argv[i + 1];
-  }
-  return fallback;
-}
 
 /// \p base with \p fork's distribution replaced by {p, rest uniform}.
 ctg::BranchProbabilities WithForkAt(const ctg::Ctg& graph,
@@ -174,17 +153,17 @@ void WriteMode(std::ostream& os, const ModeResult& r) {
 
 int main(int argc, char** argv) {
   try {
-    const std::size_t steps = FlagValue(argc, argv, "--steps", 256);
-    const std::size_t seed = FlagValue(argc, argv, "--seed", 42);
+    const std::size_t steps = cli::CountFlag(argc, argv, "--steps", 256);
+    const std::size_t seed = cli::CountFlag(argc, argv, "--seed", 42);
     const std::string out_path =
-        StringFlag(argc, argv, "--out", "BENCH_reschedule.json");
+        cli::StringFlag(argc, argv, "--out", "BENCH_reschedule.json");
 
     // One mid-size fork-join graph: large enough that DLS dominates the
     // reschedule cost, few enough forks that the table stays small.
     tgff::RandomCtgParams params;
-    params.task_count = static_cast<int>(FlagValue(argc, argv, "--tasks", 48));
-    params.pe_count = static_cast<int>(FlagValue(argc, argv, "--pes", 4));
-    params.fork_count = static_cast<int>(FlagValue(argc, argv, "--forks", 4));
+    params.task_count = static_cast<int>(cli::CountFlag(argc, argv, "--tasks", 48));
+    params.pe_count = static_cast<int>(cli::CountFlag(argc, argv, "--pes", 4));
+    params.fork_count = static_cast<int>(cli::CountFlag(argc, argv, "--forks", 4));
     params.category = tgff::Category::kForkJoin;
     params.seed = static_cast<std::uint64_t>(seed);
     tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();

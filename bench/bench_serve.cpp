@@ -18,6 +18,7 @@
 #include <iostream>
 #include <string>
 
+#include "cli_common.h"
 #include "runtime/pool.h"
 #include "serve/request.h"
 #include "serve/server.h"
@@ -26,28 +27,6 @@
 namespace {
 
 using namespace actg;
-
-std::size_t FlagValue(int argc, char** argv, const std::string& flag,
-                      std::size_t fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (argv[i] == flag) {
-      try {
-        return static_cast<std::size_t>(std::stoull(argv[i + 1]));
-      } catch (const std::exception&) {
-        return fallback;
-      }
-    }
-  }
-  return fallback;
-}
-
-std::string StringFlag(int argc, char** argv, const std::string& flag,
-                       std::string fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (argv[i] == flag) return argv[i + 1];
-  }
-  return fallback;
-}
 
 void WriteSla(std::ostream& os, const serve::Server& server,
               const serve::FleetReport& report, serve::SlaClass sla) {
@@ -59,7 +38,7 @@ void WriteSla(std::ostream& os, const serve::Server& server,
      << "\"shed_tenants\": " << agg.shed_tenants << ", "
      << "\"instances\": " << agg.instances << ", "
      << "\"deadline_misses\": " << agg.deadline_misses << ", "
-     << "\"slices\": " << latency.slices << ", "
+     << "\"slices\": " << latency.samples << ", "
      << "\"p50_ms\": " << latency.p50_ms << ", "
      << "\"p99_ms\": " << latency.p99_ms << ", "
      << "\"max_ms\": " << latency.max_ms << ", "
@@ -71,12 +50,12 @@ void WriteSla(std::ostream& os, const serve::Server& server,
 int main(int argc, char** argv) {
   try {
     const std::size_t jobs = runtime::ParseJobs(argc, argv);
-    const std::size_t tenants = FlagValue(argc, argv, "--tenants", 48);
+    const std::size_t tenants = cli::CountFlag(argc, argv, "--tenants", 48);
     const std::size_t instances =
-        FlagValue(argc, argv, "--instances", 6);
-    const std::size_t seed = FlagValue(argc, argv, "--seed", 7);
+        cli::CountFlag(argc, argv, "--instances", 6);
+    const std::size_t seed = cli::CountFlag(argc, argv, "--seed", 7);
     const std::string out_path =
-        StringFlag(argc, argv, "--out", "BENCH_serve.json");
+        cli::StringFlag(argc, argv, "--out", "BENCH_serve.json");
 
     serve::FleetRequest fleet = serve::SyntheticFleet(
         tenants, instances, static_cast<std::uint64_t>(seed));

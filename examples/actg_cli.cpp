@@ -39,6 +39,7 @@
 #include <string>
 
 #include "apps/common.h"
+#include "cli_common.h"
 #include "ctg/activation.h"
 #include "dvfs/algorithms.h"
 #include "dvfs/policy.h"
@@ -90,31 +91,15 @@ struct SimulateFlags {
 
 SimulateFlags ParseSimulateFlags(int& argc, char** argv) {
   SimulateFlags flags;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--faults" && i + 1 < argc) {
-      flags.plan_path = argv[++i];
-    } else if (arg.rfind("--faults=", 0) == 0) {
-      flags.plan_path = arg.substr(std::strlen("--faults="));
-    } else if (arg == "--no-degrade") {
-      flags.no_degrade = true;
-    } else if ((arg == "--reschedule-mode" && i + 1 < argc) ||
-               arg.rfind("--reschedule-mode=", 0) == 0) {
-      const std::string name =
-          arg == "--reschedule-mode"
-              ? argv[++i]
-              : arg.substr(std::strlen("--reschedule-mode="));
-      const auto mode = adaptive::ParseRescheduleMode(name);
-      ACTG_CHECK(mode.has_value(),
-                 "unknown --reschedule-mode '" + name +
-                     "' (expected full, incremental or table)");
-      flags.reschedule_mode = *mode;
-    } else {
-      argv[out++] = argv[i];
-    }
+  flags.plan_path = cli::TakeFlag(argc, argv, "--faults");
+  flags.no_degrade = cli::TakeSwitch(argc, argv, "--no-degrade");
+  if (const auto name = cli::TakeFlag(argc, argv, "--reschedule-mode")) {
+    const auto mode = adaptive::ParseRescheduleMode(*name);
+    ACTG_CHECK(mode.has_value(),
+               "unknown --reschedule-mode '" + *name +
+                   "' (expected full, incremental or table)");
+    flags.reschedule_mode = *mode;
   }
-  argc = out;
   return flags;
 }
 

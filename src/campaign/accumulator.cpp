@@ -1,0 +1,132 @@
+#include "campaign/accumulator.h"
+
+#include <cmath>
+
+namespace actg::campaign {
+
+namespace {
+
+/// Quantizes x to kScaleBits fractional bits, clamped to +/- 2^40 so
+/// the squared sum can never overflow 128 bits over any realistic
+/// population (2^40 quantized -> 2^80 squared -> 2^110 after 2^30
+/// observations).
+std::int64_t Quantize(double x) {
+  constexpr double kScale =
+      static_cast<double>(std::int64_t{1} << Moments::kScaleBits);
+  constexpr double kLimit = 1099511627776.0;  // 2^40
+  if (x > kLimit) x = kLimit;
+  if (x < -kLimit) x = -kLimit;
+  return std::llround(x * kScale);
+}
+
+constexpr double kInvScale =
+    1.0 / static_cast<double>(std::int64_t{1} << Moments::kScaleBits);
+
+}  // namespace
+
+void Moments::Observe(double x) {
+  const std::int64_t q = Quantize(x);
+  ++count_;
+  sum_q_ += q;
+  sum_sq_q_ += static_cast<__int128>(q) * q;
+}
+
+void Moments::Merge(const Moments& other) {
+  count_ += other.count_;
+  sum_q_ += other.sum_q_;
+  sum_sq_q_ += other.sum_sq_q_;
+}
+
+double Moments::sum() const {
+  return static_cast<double>(sum_q_) * kInvScale;
+}
+
+double Moments::mean() const {
+  if (count_ == 0) return 0.0;
+  return sum() / static_cast<double>(count_);
+}
+
+double Moments::m2() const {
+  if (count_ < 2) return 0.0;
+  // M2 = sum(x^2) - sum(x)^2 / n, on the exact integer sums. The
+  // subtraction happens in doubles, but both operands are pure
+  // functions of the exact state, so the result is split-invariant.
+  const double sq = static_cast<double>(sum_sq_q_) * kInvScale * kInvScale;
+  const double s = sum();
+  const double m2 = sq - s * s / static_cast<double>(count_);
+  return m2 > 0.0 ? m2 : 0.0;
+}
+
+double Moments::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2() / static_cast<double>(count_);
+}
+
+bool Moments::operator==(const Moments& other) const {
+  return count_ == other.count_ && sum_q_ == other.sum_q_ &&
+         sum_sq_q_ == other.sum_sq_q_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  ACTG_CHECK(lo < hi, "Histogram: lo must be < hi");
+  ACTG_CHECK(bins > 0, "Histogram: bins must be > 0");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::Observe(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  // Guard the hi-edge rounding case (x just below hi_ can land on
+  // bins() after the division).
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  ACTG_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
+                 counts_.size() == other.counts_.size(),
+             "Histogram::Merge: bin layouts differ");
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest rank: the k-th smallest observation with
+  // k = max(1, ceil(q * count)).
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = underflow_;
+  if (rank <= seen) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (rank <= seen) {
+      return lo_ + (static_cast<double>(i) + 0.5) * width_;
+    }
+  }
+  return hi_;
+}
+
+bool Histogram::operator==(const Histogram& other) const {
+  return lo_ == other.lo_ && hi_ == other.hi_ && count_ == other.count_ &&
+         underflow_ == other.underflow_ && overflow_ == other.overflow_ &&
+         counts_ == other.counts_;
+}
+
+}  // namespace actg::campaign

@@ -1,0 +1,404 @@
+#include "campaign/runner.h"
+
+#include <iomanip>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "adaptive/controller.h"
+#include "apps/common.h"
+#include "check/validator.h"
+#include "faults/injector.h"
+#include "runtime/pool.h"
+#include "runtime/schedule_cache.h"
+#include "sim/executor.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace actg::campaign {
+
+namespace {
+
+void MergeTiers(adaptive::TierCounts& into,
+                const adaptive::TierCounts& from) {
+  into.exact += from.exact;
+  into.warm_cache += from.warm_cache;
+  into.warm_prior += from.warm_prior;
+  into.table += from.table;
+  into.full += from.full;
+  into.incremental_fallbacks += from.incremental_fallbacks;
+}
+
+/// Fault-injector seed of instance i: a pure function of (spec, i),
+/// drawn from the instance's Fork(2) substream so no other consumer of
+/// the substream tree can collide with it.
+std::uint64_t FaultSeed(const util::Random& instance_rng) {
+  return instance_rng.Fork(2).engine().Next();
+}
+
+/// The axes of population cell \p c, workload-fastest.
+CellKey KeyOf(const CampaignSpec& spec, std::size_t c) {
+  CellKey key;
+  key.workload = spec.workloads[c % spec.workloads.size()];
+  c /= spec.workloads.size();
+  key.policy = spec.policies[c % spec.policies.size()];
+  c /= spec.policies.size();
+  key.mode = spec.modes[c % spec.modes.size()];
+  c /= spec.modes.size();
+  key.storm = spec.storms[c].name;
+  return key;
+}
+
+runtime::ScheduleCacheOptions ScheduleCacheOptionsFor(
+    const CampaignSpec& spec) {
+  runtime::ScheduleCacheOptions options;
+  options.capacity = spec.cache_capacity;
+  return options;
+}
+
+/// Per-shard state: shards accumulate independently and the runner
+/// merges them in shard order.
+struct ShardOutput {
+  std::vector<CellStats> cells;
+  ShardExecution exec;
+  std::unique_ptr<runtime::Metrics> metrics;
+};
+
+void RunShard(const CampaignSpec& spec, std::size_t shard,
+              ShardOutput& out) {
+  const auto [begin, end] =
+      Campaign::ShardRange(spec.instances, spec.shards, shard);
+  out.exec.begin = begin;
+  out.exec.end = end;
+  out.metrics = std::make_unique<runtime::Metrics>();
+  const std::size_t cells = spec.CellCount();
+  out.cells.assign(cells, CellStats(spec));
+
+  runtime::ScheduleCache shared_cache(
+      ScheduleCacheOptionsFor(spec), out.metrics.get());
+  // Model construction is the expensive part of an instance; instances
+  // cycle through workloads x model_seeds structures, so the shard
+  // memoizes them — (workload, model seed) pairs build equal models, so
+  // memoization never changes a result.
+  std::map<std::pair<int, std::uint64_t>,
+           std::unique_ptr<apps::TenantModel>>
+      models;
+  const util::Random root(spec.seed);
+
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t c = i % cells;
+    const CellKey key = KeyOf(spec, c);
+    const std::size_t group = (i / cells) % spec.model_seeds;
+    const std::uint64_t model_seed =
+        spec.seed + static_cast<std::uint64_t>(group);
+    auto& model = models[{static_cast<int>(key.workload), model_seed}];
+    if (model == nullptr) {
+      model = std::make_unique<apps::TenantModel>(key.workload, model_seed);
+    }
+
+    // The instance's substream tree: everything stochastic about
+    // instance i forks from Random(seed).Fork(i), never from shared
+    // state, so the result is a pure function of (spec, i).
+    const util::Random rng = root.Fork(i);
+    const trace::BranchTrace trace =
+        model->MakeTrace(spec.trace_instances, rng.Fork(0));
+    const bool sampled = rng.Fork(1).Bernoulli(spec.oracle_rate);
+    // Forced first-instance check: every shard re-verifies at least one
+    // of its instances against the oracle. Execution data — the sampled
+    // draw alone feeds the population section.
+    const bool oracle = sampled || i == begin;
+
+    adaptive::AdaptiveOptions options;
+    options.window_length = spec.window;
+    options.threshold = spec.threshold;
+    options.policy = key.policy;
+    options.reschedule.mode = key.mode;
+    // share_cache pools every instance into one shard-wide key space so
+    // cross-instance exact hits do the heavy lifting — which couples an
+    // instance's outcome to the shard-mates that filled the cache. The
+    // control arm gives each instance a private cache instead: its own
+    // keys AND its own LRU budget, so hit/miss patterns (and therefore
+    // the result) stay a pure function of (spec, i).
+    std::optional<runtime::ScheduleCache> private_cache;
+    if (!spec.share_cache) {
+      private_cache.emplace(ScheduleCacheOptionsFor(spec),
+                            out.metrics.get());
+    }
+    options.cache = runtime::CacheBinding{
+        spec.share_cache ? &shared_cache : &*private_cache,
+        spec.share_cache ? 0 : static_cast<std::uint64_t>(i) + 1};
+    options.metrics = out.metrics.get();
+    options.degrade.enabled = spec.degrade;
+    // In-controller schedule validation keys off the *sampled* draw
+    // only: the rescheduler's debug oracle recomputes a reference
+    // through the pooled path engine, which perturbs the instance's
+    // own warm-stretch state — deterministic per instance, but it must
+    // not depend on the shard-relative position. The forced
+    // first-of-shard check below stays outside the controller
+    // (check::ValidateInstance on a copied schedule), which is
+    // read-only.
+    options.validate_schedules = sampled;
+    adaptive::AdaptiveController controller(
+        model->graph(), model->analysis(), model->platform(),
+        apps::UniformProbabilities(model->graph()), options);
+
+    const faults::FaultPlan plan =
+        spec.storms[c / (spec.workloads.size() * spec.policies.size() *
+                         spec.modes.size())]
+            .Plan();
+    std::optional<faults::Injector> injector;
+    if (!plan.Empty()) {
+      injector.emplace(plan, model->graph(), model->platform(),
+                       FaultSeed(rng));
+    }
+
+    CellStats& cell = out.cells[c];
+    double app_energy = 0.0;
+    for (std::size_t t = 0; t < trace.size(); ++t) {
+      ctg::BranchAssignment assignment = trace.At(t);
+      faults::InstanceFaults instance_faults;
+      const faults::InstanceFaults* f = nullptr;
+      if (injector.has_value()) {
+        instance_faults = injector->ForInstance(t);
+        injector->ApplyDrift(t, assignment);
+        f = &instance_faults;
+      }
+      // ProcessInstance executes against the *current* schedule, then
+      // adapts — so the oracle must capture the schedule before the
+      // call to re-verify what actually executed.
+      std::optional<sched::Schedule> executed;
+      if (oracle) executed = controller.current_schedule();
+      const sim::InstanceResult result =
+          controller.ProcessInstance(assignment, f);
+      if (oracle) {
+        check::ValidateInstance(*executed, assignment, result, f);
+      }
+      ++cell.executions;
+      if (!result.deadline_met) ++cell.deadline_misses;
+      if (result.overrun_ms > 0.0) ++cell.overrun_instances;
+      if (result.faults_injected) ++cell.faulted_instances;
+      cell.failed_pe_hits += result.failed_pe_hits;
+      if (result.makespan_ms > cell.max_makespan_ms) {
+        cell.max_makespan_ms = result.makespan_ms;
+      }
+      cell.makespan.Observe(result.makespan_ms);
+      cell.makespan_hist.Observe(result.makespan_ms);
+      app_energy += result.energy_mj;
+    }
+
+    ++cell.app_instances;
+    cell.energy.Observe(app_energy);
+    cell.energy_hist.Observe(app_energy);
+    cell.reschedules += controller.reschedule_count();
+    cell.resched_per_app.Observe(
+        static_cast<double>(controller.reschedule_count()));
+    cell.escalations += controller.escalation_count();
+    cell.oob_reschedules += controller.oob_reschedule_count();
+    cell.recoveries += controller.recovery_count();
+    if (sampled) ++cell.oracle_sampled;
+    if (oracle) ++out.exec.oracle_validations;
+    MergeTiers(out.exec.tiers, controller.rescheduler().tier_counts());
+  }
+}
+
+}  // namespace
+
+std::string CellKey::Label() const {
+  std::string label(apps::TenantWorkloadName(workload));
+  label += '/';
+  label += policy;
+  label += '/';
+  label += adaptive::RescheduleModeName(mode);
+  label += '/';
+  label += storm;
+  return label;
+}
+
+CellStats::CellStats(const CampaignSpec& spec)
+    : energy_hist(0.0, spec.energy_max_mj, spec.bins),
+      makespan_hist(0.0, spec.makespan_max_ms, spec.bins) {}
+
+void CellStats::Merge(const CellStats& other) {
+  app_instances += other.app_instances;
+  executions += other.executions;
+  deadline_misses += other.deadline_misses;
+  reschedules += other.reschedules;
+  escalations += other.escalations;
+  oob_reschedules += other.oob_reschedules;
+  recoveries += other.recoveries;
+  overrun_instances += other.overrun_instances;
+  faulted_instances += other.faulted_instances;
+  failed_pe_hits += other.failed_pe_hits;
+  oracle_sampled += other.oracle_sampled;
+  if (other.max_makespan_ms > max_makespan_ms) {
+    max_makespan_ms = other.max_makespan_ms;
+  }
+  energy.Merge(other.energy);
+  energy_hist.Merge(other.energy_hist);
+  makespan.Merge(other.makespan);
+  makespan_hist.Merge(other.makespan_hist);
+  resched_per_app.Merge(other.resched_per_app);
+}
+
+report::FleetStats CellStats::ToFleetStats() const {
+  report::FleetStats stats;
+  stats.instances = executions;
+  stats.deadline_misses = deadline_misses;
+  stats.total_energy_mj = energy.sum();
+  stats.max_makespan_ms = max_makespan_ms;
+  stats.reschedules = reschedules;
+  return stats;
+}
+
+bool CellStats::operator==(const CellStats& other) const {
+  return app_instances == other.app_instances &&
+         executions == other.executions &&
+         deadline_misses == other.deadline_misses &&
+         reschedules == other.reschedules &&
+         escalations == other.escalations &&
+         oob_reschedules == other.oob_reschedules &&
+         recoveries == other.recoveries &&
+         overrun_instances == other.overrun_instances &&
+         faulted_instances == other.faulted_instances &&
+         failed_pe_hits == other.failed_pe_hits &&
+         oracle_sampled == other.oracle_sampled &&
+         max_makespan_ms == other.max_makespan_ms &&
+         energy == other.energy && energy_hist == other.energy_hist &&
+         makespan == other.makespan &&
+         makespan_hist == other.makespan_hist &&
+         resched_per_app == other.resched_per_app;
+}
+
+void CampaignResult::WritePopulation(std::ostream& os) const {
+  os << std::fixed << std::setprecision(6);
+  os << "population cells " << cells.size() << "\n";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const CellStats& cell = cells[c];
+    os << "cell " << keys[c].Label() << " apps " << cell.app_instances
+       << " exec " << cell.executions << " miss " << cell.deadline_misses
+       << " resched " << cell.reschedules << " oob "
+       << cell.oob_reschedules << " esc " << cell.escalations << " rec "
+       << cell.recoveries << " overrun " << cell.overrun_instances
+       << " faulted " << cell.faulted_instances << " pe_hits "
+       << cell.failed_pe_hits << " oracle " << cell.oracle_sampled
+       << "\n";
+    os << "  energy_mj mean " << cell.energy.mean() << " p50 "
+       << cell.energy_hist.Quantile(0.5) << " p99 "
+       << cell.energy_hist.Quantile(0.99) << "\n";
+    os << "  makespan_ms mean " << cell.makespan.mean() << " p50 "
+       << cell.makespan_hist.Quantile(0.5) << " p99 "
+       << cell.makespan_hist.Quantile(0.99) << " max "
+       << cell.max_makespan_ms << "\n";
+    os << "  resched_per_app mean " << cell.resched_per_app.mean()
+       << " var " << cell.resched_per_app.variance() << "\n";
+  }
+  os << "fleet instances " << fleet.instances << " miss_rate "
+     << fleet.MissRate() << " energy_mj " << fleet.total_energy_mj
+     << " avg_energy_mj " << fleet.AverageEnergy() << " max_makespan_ms "
+     << fleet.max_makespan_ms << " reschedules " << fleet.reschedules
+     << "\n";
+  os << "oracle_sampled " << oracle_sampled << "\n";
+}
+
+void CampaignResult::Write(std::ostream& os) const {
+  os << "campaign report v1\n";
+  os << "instances " << spec.instances << " shards " << spec.shards
+     << " trace_instances " << spec.trace_instances << " seed "
+     << spec.seed << "\n";
+  WritePopulation(os);
+  os << "execution\n";
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const ShardExecution& shard = shards[s];
+    os << "shard " << s << " range " << shard.begin << " " << shard.end
+       << " oracle " << shard.oracle_validations << " tiers exact "
+       << shard.tiers.exact << " warm_cache " << shard.tiers.warm_cache
+       << " warm_prior " << shard.tiers.warm_prior << " table "
+       << shard.tiers.table << " full " << shard.tiers.full
+       << " fallbacks " << shard.tiers.incremental_fallbacks << "\n";
+  }
+  os << "tiers exact " << tiers.exact << " warm_cache "
+     << tiers.warm_cache << " warm_prior " << tiers.warm_prior
+     << " table " << tiers.table << " full " << tiers.full
+     << " fallbacks " << tiers.incremental_fallbacks << "\n";
+  os << "end\n";
+}
+
+Campaign::Campaign(CampaignSpec spec, CampaignOptions options)
+    : spec_(std::move(spec)), options_(options) {
+  spec_.Validate().ThrowIfError();
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    own_metrics_ = std::make_unique<runtime::Metrics>();
+    metrics_ = own_metrics_.get();
+  }
+}
+
+std::pair<std::size_t, std::size_t> Campaign::ShardRange(
+    std::size_t instances, std::size_t shards, std::size_t shard) {
+  return {shard * instances / shards, (shard + 1) * instances / shards};
+}
+
+const CampaignResult& Campaign::Run() {
+  ACTG_CHECK(!ran_, "Campaign::Run is valid once");
+  ran_ = true;
+
+  std::vector<ShardOutput> outputs(spec_.shards);
+  runtime::Pool pool(options_.jobs);
+  // One shard = one pool job: the body depends only on (spec, shard)
+  // and writes only its own slot, so any --jobs count produces
+  // bit-identical outputs.
+  pool.ParallelFor(spec_.shards, [&](std::size_t s) {
+    RunShard(spec_, s, outputs[s]);
+  });
+
+  const std::size_t cells = spec_.CellCount();
+  result_.spec = spec_;
+  result_.keys.clear();
+  result_.keys.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    result_.keys.push_back(KeyOf(spec_, c));
+  }
+  result_.cells.assign(cells, CellStats(spec_));
+  for (ShardOutput& out : outputs) {
+    for (std::size_t c = 0; c < cells; ++c) {
+      result_.cells[c].Merge(out.cells[c]);
+    }
+    result_.shards.push_back(out.exec);
+    MergeTiers(result_.tiers, out.exec.tiers);
+    metrics_->MergeFrom(*out.metrics);
+  }
+  for (const CellStats& cell : result_.cells) {
+    result_.fleet.Merge(cell.ToFleetStats());
+    result_.oracle_sampled += cell.oracle_sampled;
+  }
+  return result_;
+}
+
+report::LatencyStats Campaign::RescheduleLatency() const {
+  report::LatencyStats stats;
+  const std::string name = "reschedule.latency_us";
+  stats.samples = metrics_->samples(name);
+  stats.p50_ms = metrics_->quantile(name, 0.5) / 1000.0;
+  stats.p99_ms = metrics_->quantile(name, 0.99) / 1000.0;
+  stats.max_ms = metrics_->quantile(name, 1.0) / 1000.0;
+  return stats;
+}
+
+util::Expected<std::unique_ptr<Campaign>> RunCampaignFile(
+    std::istream& is, std::size_t jobs, std::ostream& report_os) {
+  util::Expected<CampaignSpec> spec = ParseCampaignFile(is);
+  if (!spec.ok()) return spec.error();
+  try {
+    CampaignOptions options;
+    options.jobs = jobs;
+    auto campaign =
+        std::make_unique<Campaign>(std::move(spec).value(), options);
+    campaign->Run().Write(report_os);
+    return campaign;
+  } catch (const Error& e) {
+    return util::Error::Invalid(e.what());
+  }
+}
+
+}  // namespace actg::campaign

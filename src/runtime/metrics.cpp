@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/error.h"
+
 namespace actg::runtime {
 
 Metrics& Metrics::Global() {
@@ -75,6 +77,22 @@ std::map<std::string, double> Metrics::TimersMs() const {
     out[name] = static_cast<double>(ns) * 1e-6;
   }
   return out;
+}
+
+void Metrics::MergeFrom(const Metrics& other) {
+  ACTG_CHECK(this != &other, "Metrics::MergeFrom: cannot merge a registry "
+                             "into itself");
+  std::scoped_lock lock(mu_, other.mu_);
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, ns] : other.timer_ns_) {
+    timer_ns_[name] += ns;
+  }
+  for (const auto& [name, samples] : other.observations_) {
+    auto& mine = observations_[name];
+    mine.insert(mine.end(), samples.begin(), samples.end());
+  }
 }
 
 void Metrics::Reset() {

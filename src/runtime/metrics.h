@@ -69,6 +69,13 @@ class Metrics {
   /// available as Counters() entry "<name>.calls").
   std::map<std::string, double> TimersMs() const;
 
+  /// Folds \p other into this registry: counters and timers add,
+  /// distribution samples concatenate. The campaign runner gives every
+  /// shard a private registry and merges them in shard order, so shard
+  /// workers never contend on one mutex. Merging a registry into itself
+  /// throws; \p other is left untouched.
+  void MergeFrom(const Metrics& other);
+
   /// Clears every counter and timer (tests and per-phase reporting).
   void Reset();
 

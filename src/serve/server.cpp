@@ -198,7 +198,11 @@ void Server::FinishReport() {
     if (row.shed) ++agg.shed_tenants;
     agg.instances += row.completed;
     agg.deadline_misses += row.deadline_misses;
-    agg.energy_mj += row.energy_mj;
+    agg.total_energy_mj += row.energy_mj;
+    if (row.max_makespan_ms > agg.max_makespan_ms) {
+      agg.max_makespan_ms = row.max_makespan_ms;
+    }
+    agg.reschedules += row.reschedules;
     report_.tenants.push_back(std::move(row));
   }
   report_.shed_tenants = admission_.shed_count();
@@ -221,7 +225,7 @@ void Server::FinishReport() {
 LatencyStats Server::Latency(SlaClass sla) const {
   const auto& samples = latency_ms_[static_cast<std::size_t>(sla)];
   LatencyStats stats;
-  stats.slices = samples.size();
+  stats.samples = samples.size();
   stats.p50_ms = NearestRank(samples, 0.5);
   stats.p99_ms = NearestRank(samples, 0.99);
   stats.max_ms = samples.empty()
@@ -242,7 +246,7 @@ void FleetReport::Write(std::ostream& os) const {
     os << SlaName(static_cast<SlaClass>(cls)) << " tenants "
        << agg.tenants << " shed " << agg.shed_tenants << " instances "
        << agg.instances << " misses " << agg.deadline_misses
-       << " energy_mj " << agg.energy_mj << "\n";
+       << " energy_mj " << agg.total_energy_mj << "\n";
   }
   os << "-- admission --\n";
   for (const AdmissionEvent& event : admission_log) {

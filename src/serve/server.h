@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "report/fleet_stats.h"
 #include "runtime/metrics.h"
 #include "runtime/pool.h"
 #include "runtime/schedule_cache.h"
@@ -58,19 +59,14 @@ struct TenantReport {
   std::size_t finish_round = 0;
 };
 
-/// Per-SLA-class aggregate of the deterministic report.
-struct SlaReport {
+/// Per-SLA-class aggregate of the deterministic report. The shared
+/// instance/miss/energy fields and MissRate() come from
+/// report::FleetStats (the vocabulary the simulator and the campaign
+/// runner also speak); this report adds the tenant counts only the
+/// daemon tracks.
+struct SlaReport : report::FleetStats {
   std::size_t tenants = 0;
   std::size_t shed_tenants = 0;
-  std::size_t instances = 0;
-  std::size_t deadline_misses = 0;
-  double energy_mj = 0.0;
-
-  double MissRate() const {
-    return instances == 0 ? 0.0
-                          : static_cast<double>(deadline_misses) /
-                                static_cast<double>(instances);
-  }
 };
 
 /// The deterministic outcome of a fleet replay.
@@ -88,14 +84,10 @@ struct FleetReport {
 };
 
 /// Wall-clock percentile summary of one SLA class (not deterministic;
-/// reported via metrics/JSON only).
-struct LatencyStats {
-  std::size_t slices = 0;
-  double p50_ms = 0.0;
-  double p99_ms = 0.0;
-  double max_ms = 0.0;
-  std::size_t budget_overruns = 0;
-};
+/// reported via metrics/JSON only). One sample = one dispatch-round
+/// slice. The struct is the shared report::LatencyStats so serve slice
+/// latencies and campaign reschedule latencies carry the same fields.
+using LatencyStats = report::LatencyStats;
 
 struct ServerOptions {
   /// Pool concurrency (--jobs); 1 = serial.

@@ -14,6 +14,7 @@
 
 #include "ctg/condition.h"
 #include "faults/injector.h"
+#include "report/fleet_stats.h"
 #include "sched/schedule.h"
 #include "trace/trace.h"
 
@@ -53,28 +54,20 @@ InstanceResult ExecuteInstance(const sched::Schedule& schedule,
                                const ctg::BranchAssignment& assignment,
                                const faults::InstanceFaults* faults);
 
-/// Aggregate of a whole trace run.
-struct RunSummary {
-  std::size_t instances = 0;
-  double total_energy_mj = 0.0;
-  std::size_t deadline_misses = 0;
-  double max_makespan_ms = 0.0;
+/// Aggregate of a whole trace run. The shared fleet vocabulary
+/// (instances / deadline_misses / total_energy_mj / max_makespan_ms /
+/// reschedules plus MissRate() and AverageEnergy()) lives in
+/// report::FleetStats so the simulator, the serve daemon and the
+/// campaign runner name and compute these quantities identically; this
+/// summary adds the fault-detection aggregates only the trace
+/// simulator produces.
+struct RunSummary : report::FleetStats {
   /// Fault-detection aggregates; all stay zero without injection.
   double total_overrun_ms = 0.0;
   std::size_t overrun_instances = 0;
   std::size_t failed_pe_hits = 0;
   std::size_t faulted_instances = 0;
 
-  double AverageEnergy() const {
-    return instances == 0 ? 0.0
-                          : total_energy_mj /
-                                static_cast<double>(instances);
-  }
-  double MissRate() const {
-    return instances == 0 ? 0.0
-                          : static_cast<double>(deadline_misses) /
-                                static_cast<double>(instances);
-  }
   void Add(const InstanceResult& r);
 };
 

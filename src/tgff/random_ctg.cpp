@@ -346,8 +346,4 @@ util::Expected<RandomCase> MakeRandomCtg(const RandomCtgParams& params) {
   return RandomCase{std::move(graph), std::move(platform)};
 }
 
-RandomCase GenerateRandomCtg(const RandomCtgParams& params) {
-  return MakeRandomCtg(params).value();
-}
-
 }  // namespace actg::tgff

@@ -222,7 +222,7 @@ TEST(AdaptiveRandom, BeatsMisprofiledOnlineOnDriftingTraces) {
     params.fork_count = 2;
     params.category = tgff::Category::kForkJoin;
     params.seed = seed;
-    tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+    tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
     apps::AssignDeadline(rc.graph, rc.platform, 1.3);
     const ctg::ActivationAnalysis analysis(rc.graph);
 

@@ -1,0 +1,474 @@
+/// \file test_campaign.cpp
+/// The campaign runner's contract tests: the accumulator merge laws
+/// (bit-exact associativity/commutativity under fuzzed groupings), the
+/// population report's shard-split invariance, the full report's
+/// byte-identity across --jobs on the committed 1k-instance fleet, the
+/// campaign-v1 parser (round-trip + the malformed corpus with pinned
+/// diagnostics) and the per-shard oracle guarantee.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/accumulator.h"
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+#include "runtime/metrics.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace actg::campaign {
+namespace {
+
+// ------------------------------------------------- Accumulator laws
+
+std::vector<double> FuzzObservations(util::Random& rng, std::size_t n) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mix magnitudes, signs and exact-binary values so quantization
+    // sees every interesting shape.
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        xs.push_back(rng.Uniform(-1e6, 1e6));
+        break;
+      case 1:
+        xs.push_back(rng.Uniform(-1.0, 1.0));
+        break;
+      case 2:
+        xs.push_back(static_cast<double>(rng.UniformInt(-1000, 1000)));
+        break;
+      default:
+        xs.push_back(rng.Uniform(0.0, 1e-3));
+        break;
+    }
+  }
+  return xs;
+}
+
+TEST(Moments, MergeIsBitExactlyAssociativeAndCommutative) {
+  util::Random rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<double> xs =
+        FuzzObservations(rng, 1 + static_cast<std::size_t>(
+                                      rng.UniformInt(0, 200)));
+
+    // Reference: one accumulator folds everything in order.
+    Moments all;
+    for (double x : xs) all.Observe(x);
+
+    // Random split into up to 8 parts, merged in a random order.
+    const int parts = rng.UniformInt(1, 8);
+    std::vector<Moments> shards(static_cast<std::size_t>(parts));
+    for (double x : xs) {
+      shards[static_cast<std::size_t>(rng.UniformInt(0, parts - 1))]
+          .Observe(x);
+    }
+    const std::vector<std::size_t> order =
+        rng.Permutation(shards.size());
+    Moments merged;
+    for (std::size_t idx : order) merged.Merge(shards[idx]);
+
+    ASSERT_TRUE(merged == all) << "round " << round;
+    EXPECT_EQ(merged.count(), xs.size());
+    EXPECT_EQ(merged.mean(), all.mean());
+    EXPECT_EQ(merged.variance(), all.variance());
+    EXPECT_EQ(merged.sum(), all.sum());
+  }
+}
+
+TEST(Moments, MergeGroupingDoesNotMatter) {
+  util::Random rng(7);
+  const std::vector<double> xs = FuzzObservations(rng, 100);
+  Moments a, b, c;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Observe(xs[i]);
+  }
+  // (a + b) + c vs a + (b + c).
+  Moments left = a;
+  left.Merge(b);
+  left.Merge(c);
+  Moments bc = b;
+  bc.Merge(c);
+  Moments right = a;
+  right.Merge(bc);
+  EXPECT_TRUE(left == right);
+}
+
+TEST(Histogram, MergeIsBitExactlyAssociativeAndCommutative) {
+  util::Random rng(99);
+  for (int round = 0; round < 50; ++round) {
+    const double hi = rng.Uniform(1.0, 1000.0);
+    const std::size_t bins =
+        static_cast<std::size_t>(rng.UniformInt(1, 64));
+    std::vector<double> xs;
+    const int n = rng.UniformInt(1, 300);
+    for (int i = 0; i < n; ++i) {
+      // Include under/overflow on purpose.
+      xs.push_back(rng.Uniform(-0.5 * hi, 1.5 * hi));
+    }
+
+    Histogram all(0.0, hi, bins);
+    for (double x : xs) all.Observe(x);
+
+    const int parts = rng.UniformInt(1, 6);
+    std::vector<Histogram> shards(static_cast<std::size_t>(parts),
+                                  Histogram(0.0, hi, bins));
+    for (double x : xs) {
+      shards[static_cast<std::size_t>(rng.UniformInt(0, parts - 1))]
+          .Observe(x);
+    }
+    Histogram merged(0.0, hi, bins);
+    for (std::size_t idx : rng.Permutation(shards.size())) {
+      merged.Merge(shards[idx]);
+    }
+
+    ASSERT_TRUE(merged == all) << "round " << round;
+    EXPECT_EQ(merged.Quantile(0.5), all.Quantile(0.5));
+    EXPECT_EQ(merged.Quantile(0.99), all.Quantile(0.99));
+  }
+}
+
+TEST(Histogram, MergeRejectsMismatchedLayouts) {
+  Histogram a(0.0, 10.0, 4);
+  Histogram b(0.0, 10.0, 8);
+  Histogram c(0.0, 20.0, 4);
+  EXPECT_THROW(a.Merge(b), InvalidArgument);
+  EXPECT_THROW(a.Merge(c), InvalidArgument);
+}
+
+// ------------------------------------------------------ Spec parsing
+
+TEST(CampaignSpecFile, SyntheticRoundTripsByteIdentically) {
+  const CampaignSpec spec = SyntheticCampaign(1000, 7);
+  std::ostringstream first;
+  WriteCampaignFile(first, spec);
+  std::istringstream in(first.str());
+  const util::Expected<CampaignSpec> parsed = ParseCampaignFile(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  std::ostringstream second;
+  WriteCampaignFile(second, parsed.value());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(CampaignSpecFile, MinimalFileGetsDefaults) {
+  std::istringstream in("campaign v1\ninstances 8\nend\n");
+  const util::Expected<CampaignSpec> parsed = ParseCampaignFile(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  const CampaignSpec& spec = parsed.value();
+  EXPECT_EQ(spec.instances, 8u);
+  EXPECT_EQ(spec.workloads.size(), 4u);
+  EXPECT_EQ(spec.policies.size(), 1u);
+  EXPECT_EQ(spec.modes.size(), 1u);
+  EXPECT_EQ(spec.storms.size(), 1u);
+  EXPECT_EQ(spec.CellCount(), 4u);
+}
+
+TEST(CampaignSpecFile, CommentsAndBlankLinesAreIgnored)
+{
+  std::istringstream in(
+      "# leading comment\n"
+      "campaign v1\n"
+      "\n"
+      "instances 5   # trailing comment\n"
+      "end\n");
+  const util::Expected<CampaignSpec> parsed = ParseCampaignFile(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  EXPECT_EQ(parsed.value().instances, 5u);
+}
+
+TEST(CampaignSpec, TableModeIsRejected) {
+  CampaignSpec spec = SyntheticCampaign(10, 1);
+  spec.modes = {adaptive::RescheduleMode::kTable};
+  const util::Error error = spec.Validate();
+  EXPECT_FALSE(error.ok());
+  EXPECT_NE(error.message().find("full and incremental"),
+            std::string::npos);
+}
+
+TEST(CampaignSpec, ValidationCatchesBrokenKnobs) {
+  {
+    CampaignSpec spec = SyntheticCampaign(10, 1);
+    spec.oracle_rate = 2.0;
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    CampaignSpec spec = SyntheticCampaign(10, 1);
+    spec.shards = 0;
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    CampaignSpec spec = SyntheticCampaign(10, 1);
+    spec.bins = 0;
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+}
+
+// Malformed corpus: every tests/corpus/campaign file must be rejected
+// with the diagnostic pinned in its '# expect: <substring>' first line.
+// Adding a regression is dropping a file in the directory.
+
+struct CorpusCase {
+  std::filesystem::path path;
+  std::string expect;
+  std::string contents;
+};
+
+std::vector<CorpusCase> LoadCorpus() {
+  const std::filesystem::path dir =
+      std::filesystem::path(ACTG_TEST_CORPUS_DIR) / "campaign";
+  std::vector<CorpusCase> cases;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    CorpusCase c;
+    c.path = entry.path();
+    std::ifstream in(c.path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    c.contents = buffer.str();
+    const std::string marker = "# expect: ";
+    const std::size_t line_end = c.contents.find('\n');
+    std::string first = c.contents.substr(
+        0, line_end == std::string::npos ? c.contents.size() : line_end);
+    if (first.rfind(marker, 0) == 0) c.expect = first.substr(marker.size());
+    cases.push_back(std::move(c));
+  }
+  std::sort(cases.begin(), cases.end(),
+            [](const CorpusCase& a, const CorpusCase& b) {
+              return a.path.filename() < b.path.filename();
+            });
+  return cases;
+}
+
+TEST(CampaignMalformedCorpus, EveryFileIsRejectedWithItsPinnedDiagnostic) {
+  const std::vector<CorpusCase> cases = LoadCorpus();
+  ASSERT_GE(cases.size(), 10u) << "corpus went missing";
+  for (const CorpusCase& c : cases) {
+    SCOPED_TRACE(c.path.filename().string());
+    ASSERT_FALSE(c.expect.empty())
+        << "corpus file lacks a '# expect: <substring>' first line";
+    std::istringstream in(c.contents);
+    const util::Expected<CampaignSpec> parsed = ParseCampaignFile(in);
+    ASSERT_FALSE(parsed.ok()) << "malformed input parsed successfully";
+    EXPECT_NE(parsed.error().message().find(c.expect), std::string::npos)
+        << "diagnostic was: " << parsed.error().message();
+  }
+}
+
+// ----------------------------------------------------------- Runner
+
+/// A population small enough to simulate several times per test but
+/// spanning every axis kind: two workloads, both reschedule modes, a
+/// calm and a faulted storm.
+CampaignSpec SmallSpec(std::size_t instances = 24) {
+  CampaignSpec spec;
+  spec.seed = 11;
+  // Per-instance cache keys: the shard-split invariance tests below
+  // need every observation to be a pure function of (spec, i), which
+  // cross-instance schedule sharing deliberately trades away.
+  spec.share_cache = false;
+  spec.instances = instances;
+  spec.trace_instances = 2;
+  spec.model_seeds = 2;
+  spec.window = 2;
+  spec.oracle_rate = 0.25;
+  spec.degrade = true;
+  spec.workloads = {apps::TenantWorkload::kMpeg,
+                    apps::TenantWorkload::kCruise};
+  spec.modes = {adaptive::RescheduleMode::kFull,
+                adaptive::RescheduleMode::kIncremental};
+  spec.storms = {StormSpec{"calm", "none", 1.0},
+                 StormSpec{"squall", "mixed", 0.5}};
+  spec.ApplyDefaults();
+  return spec;
+}
+
+TEST(CampaignShardRange, PartitionsAreContiguousAndBalanced) {
+  for (std::size_t instances : {0u, 1u, 7u, 24u, 1000u}) {
+    for (std::size_t shards : {1u, 3u, 8u, 32u}) {
+      std::size_t covered = 0;
+      std::size_t previous_end = 0;
+      std::size_t min_size = instances + 1, max_size = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [begin, end] =
+            Campaign::ShardRange(instances, shards, s);
+        EXPECT_EQ(begin, previous_end);
+        EXPECT_LE(begin, end);
+        previous_end = end;
+        covered += end - begin;
+        min_size = std::min(min_size, end - begin);
+        max_size = std::max(max_size, end - begin);
+      }
+      EXPECT_EQ(previous_end, instances);
+      EXPECT_EQ(covered, instances);
+      EXPECT_LE(max_size - min_size, 1u)
+          << instances << " over " << shards;
+    }
+  }
+}
+
+TEST(CampaignRunner, PopulationReportIsShardSplitInvariant) {
+  std::vector<std::string> reports;
+  for (std::size_t shards : {1u, 3u, 8u}) {
+    CampaignSpec spec = SmallSpec();
+    spec.shards = shards;
+    Campaign run(spec);
+    std::ostringstream os;
+    run.Run().WritePopulation(os);
+    reports.push_back(os.str());
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], reports[2]);
+}
+
+TEST(CampaignRunner, FullReportIsJobsInvariant) {
+  CampaignSpec spec = SmallSpec();
+  spec.share_cache = true;  // jobs-invariance holds with sharing on
+  spec.shards = 5;
+  std::vector<std::string> reports;
+  for (std::size_t jobs : {1u, 4u}) {
+    CampaignOptions options;
+    options.jobs = jobs;
+    Campaign run(spec, options);
+    std::ostringstream os;
+    run.Run().Write(os);
+    reports.push_back(os.str());
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+}
+
+TEST(CampaignRunner, EveryNonEmptyShardRunsAnOracleValidation) {
+  CampaignSpec spec = SmallSpec();
+  spec.shards = 7;
+  spec.oracle_rate = 0.0;  // only the forced first-instance checks
+  Campaign run(spec);
+  const CampaignResult& result = run.Run();
+  ASSERT_EQ(result.shards.size(), 7u);
+  for (const ShardExecution& shard : result.shards) {
+    if (shard.end == shard.begin) continue;
+    EXPECT_GE(shard.oracle_validations, 1u);
+  }
+}
+
+TEST(CampaignRunner, FleetIsTheSumOfTheCells) {
+  Campaign run(SmallSpec());
+  const CampaignResult& result = run.Run();
+  report::FleetStats expected;
+  for (const CellStats& cell : result.cells) {
+    expected.Merge(cell.ToFleetStats());
+  }
+  EXPECT_EQ(result.fleet.instances, expected.instances);
+  EXPECT_EQ(result.fleet.deadline_misses, expected.deadline_misses);
+  EXPECT_EQ(result.fleet.reschedules, expected.reschedules);
+  EXPECT_DOUBLE_EQ(result.fleet.total_energy_mj,
+                   expected.total_energy_mj);
+  EXPECT_DOUBLE_EQ(result.fleet.max_makespan_ms,
+                   expected.max_makespan_ms);
+  // Population covers every instance exactly once.
+  std::size_t apps = 0;
+  for (const CellStats& cell : result.cells) apps += cell.app_instances;
+  EXPECT_EQ(apps, result.spec.instances);
+}
+
+TEST(CampaignRunner, CellStatsMergeMatchesUnifiedAccumulation) {
+  // Running the same population as one shard or as five must produce
+  // bit-identical per-cell state (the runner merges shard-local
+  // CellStats; this pins the merge law end to end, not just for the
+  // raw accumulators).
+  CampaignSpec one = SmallSpec();
+  one.shards = 1;
+  CampaignSpec five = SmallSpec();
+  five.shards = 5;
+  Campaign a(one), b(five);
+  const CampaignResult& ra = a.Run();
+  const CampaignResult& rb = b.Run();
+  ASSERT_EQ(ra.cells.size(), rb.cells.size());
+  for (std::size_t i = 0; i < ra.cells.size(); ++i) {
+    EXPECT_TRUE(ra.cells[i] == rb.cells[i]) << ra.keys[i].Label();
+  }
+}
+
+TEST(CampaignRunner, RunIsValidOnce) {
+  Campaign run(SmallSpec(8));
+  run.Run();
+  EXPECT_THROW(run.Run(), Error);
+}
+
+TEST(CampaignRunner, RejectsBrokenSpecUpFront) {
+  CampaignSpec spec = SmallSpec();
+  spec.instances = 0;
+  EXPECT_THROW(Campaign{spec}, InvalidArgument);
+}
+
+TEST(CampaignRunner, RunCampaignFileParsesAndRuns) {
+  std::ostringstream text;
+  WriteCampaignFile(text, SmallSpec(8));
+  std::istringstream in(text.str());
+  std::ostringstream report;
+  const auto run = RunCampaignFile(in, 2, report);
+  ASSERT_TRUE(run.ok()) << run.error().message();
+  EXPECT_NE(report.str().find("campaign report v1"), std::string::npos);
+  EXPECT_NE(report.str().find("fleet instances 16"), std::string::npos);
+}
+
+TEST(CampaignRunner, RunCampaignFileReportsParseErrors) {
+  std::istringstream in("campaign v1\ninstances nope\nend\n");
+  std::ostringstream report;
+  const auto run = RunCampaignFile(in, 1, report);
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.error().message().find("expected a number"),
+            std::string::npos);
+  EXPECT_TRUE(report.str().empty());
+}
+
+// The committed 1k-instance fleet: the golden --jobs byte-equality the
+// CI smoke job also replays through the actg_campaign binary.
+TEST(CampaignGolden, CommittedFleetReportIsJobsInvariant) {
+  const std::filesystem::path path =
+      std::filesystem::path(ACTG_TEST_DATA_DIR) /
+      "campaign_fleet1k.campaign";
+  std::vector<std::string> reports;
+  for (std::size_t jobs : {1u, 8u}) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::ostringstream report;
+    const auto run = RunCampaignFile(in, jobs, report);
+    ASSERT_TRUE(run.ok()) << run.error().message();
+    reports.push_back(report.str());
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+  // The fleet really is the committed one.
+  EXPECT_NE(reports[0].find("instances 1000 shards 8"),
+            std::string::npos);
+}
+
+// --------------------------------------------- Metrics::MergeFrom
+
+TEST(MetricsMerge, CountersTimersAndObservationsFold) {
+  runtime::Metrics a, b;
+  a.Increment("x", 2);
+  b.Increment("x", 3);
+  b.Increment("y", 1);
+  a.RecordTime("t", 1000000);
+  b.RecordTime("t", 2000000);
+  a.Observe("lat", 1.0);
+  b.Observe("lat", 3.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counter("x"), 5u);
+  EXPECT_EQ(a.counter("y"), 1u);
+  EXPECT_DOUBLE_EQ(a.timer_ms("t"), 3.0);
+  EXPECT_DOUBLE_EQ(a.quantile("lat", 1.0), 3.0);
+}
+
+TEST(MetricsMerge, SelfMergeIsRejected) {
+  runtime::Metrics a;
+  EXPECT_THROW(a.MergeFrom(a), Error);
+}
+
+}  // namespace
+}  // namespace actg::campaign

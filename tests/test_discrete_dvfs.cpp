@@ -45,7 +45,7 @@ struct Rig {
           params.fork_count = 2;
           params.pe_count = 3;
           params.seed = seed;
-          auto generated = tgff::GenerateRandomCtg(params);
+          auto generated = tgff::MakeRandomCtg(params).value();
           apps::AssignDeadline(generated.graph, generated.platform, 1.6);
           return generated;
         }()),

@@ -97,7 +97,7 @@ TEST(CtgRoundTrip, RandomGraphSweep) {
     params.task_count = 20;
     params.fork_count = 2;
     params.seed = seed;
-    const tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+    const tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
     std::stringstream buffer;
     WriteCtg(buffer, rc.graph);
     ExpectGraphsEqual(rc.graph, ParseCtg(buffer).value());

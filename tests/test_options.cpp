@@ -89,7 +89,7 @@ TEST(AdaptiveController, RejectsInvalidOptionsUpFront) {
   params.pe_count = 2;
   params.fork_count = 1;
   params.seed = 5;
-  tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
   apps::AssignDeadline(rc.graph, rc.platform, 1.3);
   const ctg::ActivationAnalysis analysis(rc.graph);
   const auto probs = apps::UniformProbabilities(rc.graph);

@@ -35,7 +35,7 @@ struct Case {
           params.fork_count = 2;
           params.category = category;
           params.seed = seed;
-          auto generated = tgff::GenerateRandomCtg(params);
+          auto generated = tgff::MakeRandomCtg(params).value();
           apps::AssignDeadline(generated.graph, generated.platform, 1.3);
           return generated;
         }()),

@@ -195,7 +195,7 @@ TEST(PathSetSweep, RandomGraphsPathInvariants) {
       params.fork_count = 2;
       params.category = category;
       params.seed = seed;
-      tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+      tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
       apps::AssignDeadline(rc.graph, rc.platform, 1.5);
       const ctg::ActivationAnalysis analysis(rc.graph);
       const auto probs = apps::UniformProbabilities(rc.graph);

@@ -91,7 +91,7 @@ TEST(ReportSweep, UtilizationInvariantOnRandomGraphs) {
     params.task_count = 20;
     params.fork_count = 2;
     params.seed = seed;
-    tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+    tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
     apps::AssignDeadline(rc.graph, rc.platform, 1.4);
     const ctg::ActivationAnalysis analysis(rc.graph);
     const auto probs = apps::UniformProbabilities(rc.graph);

@@ -232,7 +232,7 @@ TEST_P(DlsSweep, ScheduleIsAlwaysValid) {
   params.pe_count = 3;
   params.category = category;
   params.seed = static_cast<std::uint64_t>(seed);
-  const tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  const tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
   const ctg::ActivationAnalysis analysis(rc.graph);
   const auto probs = apps::UniformProbabilities(rc.graph);
   DlsOptions options;
@@ -332,7 +332,7 @@ TEST(Deadline, AssignDeadlineScalesNominalMakespan) {
   params.task_count = 15;
   params.fork_count = 2;
   params.seed = 5;
-  tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
   const double deadline = apps::AssignDeadline(rc.graph, rc.platform, 1.5);
   EXPECT_DOUBLE_EQ(rc.graph.deadline_ms(), deadline);
   const ctg::ActivationAnalysis analysis(rc.graph);

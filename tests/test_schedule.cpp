@@ -145,7 +145,7 @@ TEST_P(AlgorithmsFixture, AllThreePipelinesAreValidAndDeterministic) {
   params.fork_count = 2;
   params.pe_count = 3;
   params.seed = static_cast<std::uint64_t>(GetParam());
-  tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+  tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
   apps::AssignDeadline(rc.graph, rc.platform, 1.3);
   const ctg::ActivationAnalysis analysis(rc.graph);
   const auto probs = apps::UniformProbabilities(rc.graph);

@@ -444,11 +444,11 @@ TEST(Server, MetricsCountersMatchDeterministicReport) {
   std::size_t slices = 0;
   for (std::size_t cls = 0; cls < kSlaClassCount; ++cls) {
     const auto sla = static_cast<SlaClass>(cls);
-    slices += server.Latency(sla).slices;
+    slices += server.Latency(sla).samples;
     EXPECT_EQ(server.metrics().samples(
                   "serve." + std::string(SlaLabel(sla)) +
                   ".slice_latency_ms"),
-              server.Latency(sla).slices);
+              server.Latency(sla).samples);
   }
   EXPECT_GT(slices, 0u);
 }

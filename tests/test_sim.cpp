@@ -195,7 +195,7 @@ TEST(SimSweep, ExpectedEnergyMatchesScenarioMixtureOnRandomGraphs) {
       params.fork_count = 2;
       params.category = category;
       params.seed = seed;
-      tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+      tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
       apps::AssignDeadline(rc.graph, rc.platform, 1.4);
       const ctg::ActivationAnalysis analysis(rc.graph);
       ctg::BranchProbabilities probs(rc.graph.task_count());

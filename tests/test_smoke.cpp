@@ -71,7 +71,7 @@ TEST(Smoke, RandomCtgAllStretchers) {
     params.pe_count = 3;
     params.category = category;
     params.seed = 7;
-    tgff::RandomCase rc = tgff::GenerateRandomCtg(params);
+    tgff::RandomCase rc = tgff::MakeRandomCtg(params).value();
     apps::AssignDeadline(rc.graph, rc.platform, 1.8);
     ctg::ActivationAnalysis analysis(rc.graph);
     auto probs = apps::UniformProbabilities(rc.graph);

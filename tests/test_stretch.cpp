@@ -30,7 +30,7 @@ struct Pipeline {
           params.pe_count = 3;
           params.category = category;
           params.seed = seed;
-          auto generated = tgff::GenerateRandomCtg(params);
+          auto generated = tgff::MakeRandomCtg(params).value();
           apps::AssignDeadline(generated.graph, generated.platform,
                                deadline_factor);
           return generated;

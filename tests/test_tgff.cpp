@@ -22,7 +22,7 @@ TEST_P(RandomCtgSweep, ProducesExactCountsAndValidStructure) {
   params.pe_count = pes;
   params.category = category;
   params.seed = seed;
-  const RandomCase rc = GenerateRandomCtg(params);
+  const RandomCase rc = MakeRandomCtg(params).value();
 
   // Exact (a/b/c) triplet, as the paper's tables require.
   EXPECT_EQ(rc.graph.task_count(), static_cast<std::size_t>(tasks));
@@ -69,7 +69,7 @@ TEST_P(RandomCtgSweep, CategoryStructureHolds) {
   params.pe_count = pes;
   params.category = category;
   params.seed = seed;
-  const RandomCase rc = GenerateRandomCtg(params);
+  const RandomCase rc = MakeRandomCtg(params).value();
 
   std::size_t or_nodes = 0;
   for (TaskId t : rc.graph.TaskIds()) {
@@ -106,8 +106,8 @@ TEST(RandomCtg, DeterministicInSeed) {
   params.task_count = 20;
   params.fork_count = 2;
   params.seed = 99;
-  const RandomCase a = GenerateRandomCtg(params);
-  const RandomCase b = GenerateRandomCtg(params);
+  const RandomCase a = MakeRandomCtg(params).value();
+  const RandomCase b = MakeRandomCtg(params).value();
   ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
   for (EdgeId eid : a.graph.EdgeIds()) {
     EXPECT_EQ(a.graph.edge(eid).src, b.graph.edge(eid).src);
@@ -127,9 +127,9 @@ TEST(RandomCtg, DifferentSeedsDiffer) {
   params.task_count = 20;
   params.fork_count = 2;
   params.seed = 1;
-  const RandomCase a = GenerateRandomCtg(params);
+  const RandomCase a = MakeRandomCtg(params).value();
   params.seed = 2;
-  const RandomCase b = GenerateRandomCtg(params);
+  const RandomCase b = MakeRandomCtg(params).value();
   bool differs = a.graph.edge_count() != b.graph.edge_count();
   if (!differs) {
     for (EdgeId eid : a.graph.EdgeIds()) {
@@ -148,14 +148,16 @@ TEST(RandomCtg, TooSmallBudgetRejected) {
   RandomCtgParams params;
   params.task_count = 5;
   params.fork_count = 3;  // needs >= 4*3+2 tasks in category 1
-  EXPECT_THROW(GenerateRandomCtg(params), InvalidArgument);
+  const util::Expected<RandomCase> result = MakeRandomCtg(params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("task"), std::string::npos);
 }
 
 TEST(RandomCtg, ZeroForksIsAPlainDag) {
   RandomCtgParams params;
   params.task_count = 12;
   params.fork_count = 0;
-  const RandomCase rc = GenerateRandomCtg(params);
+  const RandomCase rc = MakeRandomCtg(params).value();
   EXPECT_TRUE(rc.graph.ForkIds().empty());
   const ctg::ActivationAnalysis analysis(rc.graph);
   for (TaskId t : rc.graph.TaskIds()) {
@@ -168,7 +170,7 @@ TEST(RandomCtg, MinimalForkJoinCase) {
   params.task_count = 6;  // exactly MinBlockTasks(1) + entry + exit
   params.fork_count = 1;
   params.category = Category::kForkJoin;
-  const RandomCase rc = GenerateRandomCtg(params);
+  const RandomCase rc = MakeRandomCtg(params).value();
   EXPECT_EQ(rc.graph.task_count(), 6u);
   EXPECT_EQ(rc.graph.ForkIds().size(), 1u);
 }
@@ -184,7 +186,7 @@ TEST(RandomCtg, NestedForksInCategory1) {
     params.fork_count = 3;
     params.category = Category::kForkJoin;
     params.seed = seed;
-    const RandomCase rc = GenerateRandomCtg(params);
+    const RandomCase rc = MakeRandomCtg(params).value();
     const ctg::ActivationAnalysis analysis(rc.graph);
     for (TaskId fork : rc.graph.ForkIds()) {
       if (!analysis.ActivationGuard(fork).IsTrue()) {

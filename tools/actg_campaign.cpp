@@ -1,0 +1,118 @@
+/// \file actg_campaign.cpp
+/// The fleet-scale Monte-Carlo campaign front end.
+///
+///   actg_campaign --campaign <file> [--jobs N] [--report <file>]
+///                 [--metrics <file>] [--population-only]
+///       Run a campaign-v1 file: partition the population into shards,
+///       simulate every instance through its adaptive controller on N
+///       pool workers and write the deterministic report to stdout (or
+///       --report). The report is byte-identical for any --jobs value;
+///       --population-only restricts it to the population section,
+///       which is additionally invariant to the shard count. Wall-clock
+///       reschedule-latency percentiles go to stderr, and --metrics
+///       dumps the merged per-shard metrics registries as text.
+///
+///   actg_campaign synthetic <instances> <seed>
+///       Print the deterministic synthetic campaign (the generator
+///       behind bench_campaign and the determinism tests) to stdout.
+///
+/// Exit status: 0 on success, 1 on a malformed campaign file or a
+/// failed run (diagnostic on stderr), 2 on usage errors.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+#include "cli_common.h"
+#include "runtime/pool.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace actg;
+
+constexpr const char* kTool = "actg_campaign";
+
+int Usage() {
+  std::cerr << "usage:\n"
+            << "  actg_campaign --campaign <file> [--jobs N] "
+               "[--report <file>] [--metrics <file>] "
+               "[--population-only]\n"
+            << "  actg_campaign synthetic <instances> <seed>\n";
+  return 2;
+}
+
+int RunSynthetic(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  const auto instances = cli::ParseCount(argv[2]);
+  const auto seed = cli::ParseCount(argv[3]);
+  if (!instances || !seed) return Usage();
+  campaign::WriteCampaignFile(
+      std::cout, campaign::SyntheticCampaign(
+                     *instances, static_cast<std::uint64_t>(*seed)));
+  return 0;
+}
+
+int RunCampaign(int argc, char** argv) {
+  const std::size_t jobs = runtime::ParseJobs(argc, argv);
+  cli::TakeFlag(argc, argv, "--jobs");
+  const std::string campaign_path =
+      cli::TakeFlag(argc, argv, "--campaign").value_or("");
+  const std::string report_path =
+      cli::TakeFlag(argc, argv, "--report").value_or("");
+  const std::string metrics_path =
+      cli::TakeFlag(argc, argv, "--metrics").value_or("");
+  const bool population_only =
+      cli::TakeSwitch(argc, argv, "--population-only");
+  if (argc != 1) {
+    cli::Fail(kTool, std::string("unknown argument '") + argv[1] + "'", 2);
+    return Usage();
+  }
+  if (campaign_path.empty()) return Usage();
+
+  std::ifstream is(campaign_path);
+  if (!is) {
+    return cli::Fail(kTool, "cannot open '" + campaign_path + "'");
+  }
+
+  util::Expected<campaign::CampaignSpec> spec =
+      campaign::ParseCampaignFile(is);
+  if (!spec.ok()) return cli::Fail(kTool, spec.error().message());
+
+  cli::ReportSink report(report_path);
+  if (!report.ok()) {
+    return cli::Fail(kTool, "cannot write '" + report_path + "'");
+  }
+
+  campaign::CampaignOptions options;
+  options.jobs = jobs;
+  campaign::Campaign run(std::move(spec).value(), options);
+  const campaign::CampaignResult& result = run.Run();
+  if (population_only) {
+    result.WritePopulation(report.os());
+  } else {
+    result.Write(report.os());
+  }
+
+  const report::LatencyStats latency = run.RescheduleLatency();
+  std::cerr << "reschedule_latency samples " << latency.samples
+            << " p50_ms " << latency.p50_ms << " p99_ms "
+            << latency.p99_ms << " max_ms " << latency.max_ms << "\n";
+  return cli::DumpMetrics(kTool, metrics_path, run.metrics());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 2 && std::strcmp(argv[1], "synthetic") == 0) {
+      return RunSynthetic(argc, argv);
+    }
+    return RunCampaign(argc, argv);
+  } catch (const actg::Error& e) {
+    return cli::Fail(kTool, e.what());
+  }
+}

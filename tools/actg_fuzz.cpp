@@ -30,6 +30,7 @@
 
 #include "check/fuzz.h"
 #include "check/validator.h"
+#include "cli_common.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -146,10 +147,15 @@ int RunEmit(std::uint64_t count, const std::string& out_dir,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint64_t cases = 0;
-  std::uint64_t seed = 1;
-  std::uint64_t start = 0;
-  std::string out_dir = ".";
+  const auto cases = cli::CountFlag(argc, argv, "--cases", 0);
+  const std::uint64_t seed = cli::SeedFlag(argc, argv, 1);
+  const auto start =
+      static_cast<std::uint64_t>(cli::CountFlag(argc, argv, "--start", 0));
+  const std::string out_dir = cli::StringFlag(argc, argv, "--out", ".");
+  cli::TakeFlag(argc, argv, "--cases");
+  cli::TakeFlag(argc, argv, "--seed");
+  cli::TakeFlag(argc, argv, "--start");
+  cli::TakeFlag(argc, argv, "--out");
   std::vector<std::string> replay;
   std::uint64_t emit_count = 0;
   std::string emit_dir;
@@ -161,23 +167,7 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
     };
-    if (arg == "--cases") {
-      const char* v = next();
-      if (v == nullptr) return Usage();
-      cases = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--seed") {
-      const char* v = next();
-      if (v == nullptr) return Usage();
-      seed = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--start") {
-      const char* v = next();
-      if (v == nullptr) return Usage();
-      start = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--out") {
-      const char* v = next();
-      if (v == nullptr) return Usage();
-      out_dir = v;
-    } else if (arg == "--replay") {
+    if (arg == "--replay") {
       while (i + 1 < argc && argv[i + 1][0] != '-') {
         replay.emplace_back(argv[++i]);
       }
@@ -190,7 +180,7 @@ int main(int argc, char** argv) {
       emit_count = std::strtoull(n, nullptr, 10);
       emit_dir = d;
     } else {
-      std::cerr << "unknown argument: " << arg << "\n";
+      cli::Fail("actg_fuzz", "unknown argument '" + arg + "'", 2);
       return Usage();
     }
   }

@@ -21,9 +21,9 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 
+#include "cli_common.h"
 #include "runtime/pool.h"
 #include "serve/request.h"
 #include "serve/server.h"
@@ -33,6 +33,8 @@ namespace {
 
 using namespace actg;
 
+constexpr const char* kTool = "actg_serve";
+
 int Usage() {
   std::cerr << "usage:\n"
             << "  actg_serve --requests <file> [--jobs N] "
@@ -41,22 +43,11 @@ int Usage() {
   return 2;
 }
 
-std::optional<std::size_t> ParseCount(const std::string& token) {
-  try {
-    std::size_t used = 0;
-    const unsigned long long value = std::stoull(token, &used);
-    if (used != token.size()) return std::nullopt;
-    return static_cast<std::size_t>(value);
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-}
-
 int RunSynthetic(int argc, char** argv) {
   if (argc != 5) return Usage();
-  const auto tenants = ParseCount(argv[2]);
-  const auto instances = ParseCount(argv[3]);
-  const auto seed = ParseCount(argv[4]);
+  const auto tenants = cli::ParseCount(argv[2]);
+  const auto instances = cli::ParseCount(argv[3]);
+  const auto seed = cli::ParseCount(argv[4]);
   if (!tenants || !instances || !seed) return Usage();
   serve::WriteServeFile(
       std::cout,
@@ -69,7 +60,7 @@ void PrintLatency(const serve::Server& server, std::ostream& os) {
   for (std::size_t cls = 0; cls < serve::kSlaClassCount; ++cls) {
     const auto sla = static_cast<serve::SlaClass>(cls);
     const serve::LatencyStats stats = server.Latency(sla);
-    os << "latency " << serve::SlaName(sla) << " slices " << stats.slices
+    os << "latency " << serve::SlaName(sla) << " slices " << stats.samples
        << " p50_ms " << stats.p50_ms << " p99_ms " << stats.p99_ms
        << " max_ms " << stats.max_ms << " budget_overruns "
        << stats.budget_overruns << "\n";
@@ -78,70 +69,36 @@ void PrintLatency(const serve::Server& server, std::ostream& os) {
 
 int RunRequests(int argc, char** argv) {
   const std::size_t jobs = runtime::ParseJobs(argc, argv);
-  std::string requests_path;
-  std::string report_path;
-  std::string metrics_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto take = [&](const char* flag, std::string& out) {
-      if (arg == flag && i + 1 < argc) {
-        out = argv[++i];
-        return true;
-      }
-      const std::string prefix = std::string(flag) + "=";
-      if (arg.rfind(prefix, 0) == 0) {
-        out = arg.substr(prefix.size());
-        return true;
-      }
-      return false;
-    };
-    if (take("--requests", requests_path) ||
-        take("--report", report_path) || take("--metrics", metrics_path)) {
-      continue;
-    }
-    if (arg == "--jobs" && i + 1 < argc) {
-      ++i;  // consumed by ParseJobs
-      continue;
-    }
-    if (arg.rfind("--jobs=", 0) == 0) continue;
-    std::cerr << "actg_serve: unknown argument '" << arg << "'\n";
+  cli::TakeFlag(argc, argv, "--jobs");
+  const std::string requests_path =
+      cli::TakeFlag(argc, argv, "--requests").value_or("");
+  const std::string report_path =
+      cli::TakeFlag(argc, argv, "--report").value_or("");
+  const std::string metrics_path =
+      cli::TakeFlag(argc, argv, "--metrics").value_or("");
+  if (argc != 1) {
+    cli::Fail(kTool, std::string("unknown argument '") + argv[1] + "'", 2);
     return Usage();
   }
   if (requests_path.empty()) return Usage();
 
   std::ifstream is(requests_path);
   if (!is) {
-    std::cerr << "actg_serve: cannot open '" << requests_path << "'\n";
-    return 1;
+    return cli::Fail(kTool, "cannot open '" + requests_path + "'");
   }
 
-  std::ofstream report_file;
-  if (!report_path.empty()) {
-    report_file.open(report_path);
-    if (!report_file) {
-      std::cerr << "actg_serve: cannot write '" << report_path << "'\n";
-      return 1;
-    }
+  cli::ReportSink report(report_path);
+  if (!report.ok()) {
+    return cli::Fail(kTool, "cannot write '" + report_path + "'");
   }
-  std::ostream& report_os =
-      report_path.empty() ? std::cout : report_file;
 
-  auto server = serve::RunServeFile(is, jobs, report_os);
+  auto server = serve::RunServeFile(is, jobs, report.os());
   if (!server.ok()) {
-    std::cerr << "actg_serve: " << server.error().message() << "\n";
-    return 1;
+    return cli::Fail(kTool, server.error().message());
   }
 
   PrintLatency(*server.value(), std::cerr);
-  if (!metrics_path.empty()) {
-    std::ofstream metrics_os(metrics_path);
-    if (!metrics_os) {
-      std::cerr << "actg_serve: cannot write '" << metrics_path << "'\n";
-      return 1;
-    }
-    server.value()->metrics().WriteText(metrics_os);
-  }
-  return 0;
+  return cli::DumpMetrics(kTool, metrics_path, server.value()->metrics());
 }
 
 }  // namespace
@@ -153,7 +110,6 @@ int main(int argc, char** argv) {
     }
     return RunRequests(argc, argv);
   } catch (const actg::Error& e) {
-    std::cerr << "actg_serve: " << e.what() << "\n";
-    return 1;
+    return actg::cli::Fail(kTool, e.what());
   }
 }
