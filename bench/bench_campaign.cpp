@@ -26,6 +26,7 @@
 #include "campaign/spec.h"
 #include "cli_common.h"
 #include "runtime/pool.h"
+#include "util/atomic_file.h"
 #include "util/error.h"
 
 namespace {
@@ -76,8 +77,9 @@ int main(int argc, char** argv) {
     }
     const report::LatencyStats latency = run.RescheduleLatency();
 
-    std::ofstream os(out_path);
-    ACTG_CHECK(bool(os), "bench_campaign: cannot write " + out_path);
+    util::AtomicFile json(out_path);
+    ACTG_CHECK(json.ok(), "bench_campaign: cannot write " + out_path);
+    std::ostream& os = json.os();
     os << "{\n";
     os << "  \"benchmark\": \"campaign\",\n";
     os << "  \"instances\": " << instances << ",\n";
@@ -111,6 +113,7 @@ int main(int argc, char** argv) {
        << ", \"p99_ms\": " << latency.p99_ms
        << ", \"max_ms\": " << latency.max_ms << "}\n";
     os << "}\n";
+    json.Commit().ThrowIfError();
 
     // Human summary (wall-clock, intentionally not diffable).
     std::cout << "bench_campaign: " << instances << " instances x "

@@ -27,6 +27,7 @@
 #include "obs/setup.h"
 #include "runtime/pool.h"
 #include "sim/report.h"
+#include "util/atomic_file.h"
 #include "util/csv.h"
 #include "util/table.h"
 
@@ -222,8 +223,8 @@ int main(int argc, char** argv) {
                     "window 20, threshold 0.1)");
 
   const std::string csv_path = util::OutputPath("faults_sweep.csv");
-  std::ofstream csv_file(csv_path);
-  util::CsvWriter csv(csv_file);
+  util::AtomicFile csv_file(csv_path);
+  util::CsvWriter csv(csv_file.os());
   csv.WriteRow(std::vector<std::string>{
       "suite", "intensity", "degrade", "instances", "energy_mj", "misses",
       "miss_rate", "overrun_instances", "failed_pe_hits", "escalations",
@@ -294,6 +295,7 @@ int main(int argc, char** argv) {
     gates_ok = false;
   }
   std::cout << (gates_ok ? "gates: OK" : "gates: FAIL") << "\n";
+  csv_file.Commit().ThrowIfError();
   std::cout << "sweep series written to " << csv_path << "\n";
 
   sim::WriteMetricsReport(std::cerr, runtime::Metrics::Global());

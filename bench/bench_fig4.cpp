@@ -15,6 +15,7 @@
 #include "ctg/activation.h"
 #include "profiling/window.h"
 #include "runtime/pool.h"
+#include "util/atomic_file.h"
 #include "util/csv.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -45,8 +46,8 @@ int main(int argc, char** argv) {
   profiling::SlidingWindowProfiler profiler(model.graph, kWindow);
 
   const std::string csv_path = util::OutputPath("fig4_series.csv");
-  std::ofstream csv_file(csv_path);
-  util::CsvWriter csv(csv_file);
+  util::AtomicFile csv_file(csv_path);
+  util::CsvWriter csv(csv_file.os());
   csv.WriteRow(std::vector<std::string>{"instance", "selection",
                                         "windowed_prob",
                                         "filtered_prob"});
@@ -99,6 +100,7 @@ int main(int argc, char** argv) {
       .Cell(tracking_error.mean(), 4);
   table.Print(std::cout);
 
+  csv_file.Commit().ThrowIfError();
   std::cout << "\nSeries written to " << csv_path << " (instance, raw "
                "selection, windowed probability, filtered probability).\n"
             << "Expected shape: raw selections look random; the windowed "

@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 
 #include <benchmark/benchmark.h>
 
@@ -25,6 +26,8 @@
 #include "sim/executor.h"
 #include "sim/report.h"
 #include "tgff/random_ctg.h"
+#include "util/atomic_file.h"
+#include "util/error.h"
 
 namespace {
 
@@ -252,8 +255,13 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (const char* path = std::getenv("ACTG_METRICS_CSV")) {
-    std::ofstream out(path);
-    actg::sim::WriteMetricsCsv(out, actg::runtime::Metrics::Global());
+    actg::util::AtomicFile out(path);
+    actg::sim::WriteMetricsCsv(out.os(), actg::runtime::Metrics::Global());
+    const actg::util::Error err = out.Commit();
+    if (!err.ok()) {
+      std::cerr << "bench_micro: " << err.message() << "\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -34,6 +34,7 @@
 #include "runtime/schedule_cache.h"
 #include "sched/incremental.h"
 #include "tgff/random_ctg.h"
+#include "util/atomic_file.h"
 #include "util/error.h"
 
 namespace {
@@ -188,8 +189,9 @@ int main(int argc, char** argv) {
                                 fork, mode, &table, steps));
     }
 
-    std::ofstream os(out_path);
-    ACTG_CHECK(bool(os), "bench_reschedule: cannot write " + out_path);
+    util::AtomicFile json(out_path);
+    ACTG_CHECK(json.ok(), "bench_reschedule: cannot write " + out_path);
+    std::ostream& os = json.os();
     os << "{\n";
     os << "  \"benchmark\": \"reschedule\",\n";
     os << "  \"tasks\": " << rc.graph.task_count() << ",\n";
@@ -206,6 +208,7 @@ int main(int argc, char** argv) {
     }
     os << "  ]\n";
     os << "}\n";
+    json.Commit().ThrowIfError();
 
     // Human summary (wall-clock, intentionally not diffable).
     std::cout << "bench_reschedule: " << rc.graph.task_count()

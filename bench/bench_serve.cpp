@@ -22,6 +22,7 @@
 #include "runtime/pool.h"
 #include "serve/request.h"
 #include "serve/server.h"
+#include "util/atomic_file.h"
 #include "util/error.h"
 
 namespace {
@@ -76,8 +77,9 @@ int main(int argc, char** argv) {
             .count() *
         1e-6;
 
-    std::ofstream os(out_path);
-    ACTG_CHECK(bool(os), "bench_serve: cannot write " + out_path);
+    util::AtomicFile json(out_path);
+    ACTG_CHECK(json.ok(), "bench_serve: cannot write " + out_path);
+    std::ostream& os = json.os();
     os << "{\n";
     os << "  \"benchmark\": \"serve\",\n";
     os << "  \"tenants\": " << tenants << ",\n";
@@ -99,6 +101,7 @@ int main(int argc, char** argv) {
     }
     os << "  ]\n";
     os << "}\n";
+    json.Commit().ThrowIfError();
 
     // Human summary (wall-clock, intentionally not diffable).
     std::cout << "bench_serve: " << tenants << " tenants x " << instances

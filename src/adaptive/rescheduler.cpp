@@ -323,14 +323,30 @@ RescheduleResult Rescheduler::ComputeTable(
 void Rescheduler::VerifyIncremental(const ctg::BranchProbabilities& probs,
                                     const RescheduleRequest& req,
                                     const RescheduleResult& got) {
-  // From-scratch reference under the same request.
+  // From-scratch reference under the same request, computed entirely on
+  // a private scratch engine. Routing the reference through engine_
+  // would advance its enumeration id and overwrite the committed path
+  // delays the next warm stretch wants to rewind — i.e. the debug
+  // oracle would perturb the production ladder it is checking. The
+  // scratch engine also means ApplyStretch must not be used here (it
+  // records engine_shape_/engine_enum_id_ against engine_); the policy
+  // is applied directly instead.
+  if (verify_engine_ == nullptr) {
+    verify_engine_ = std::make_unique<dvfs::PathEngine>(
+        *graph_, *analysis_, *platform_,
+        dvfs::PathEngineOptions{.max_paths = config_.stretch.max_paths});
+  }
   sched::DlsOptions dls = config_.dls;
   dls.available_pes = req.mask;
   sched::Schedule reference =
       sched::RunDls(*graph_, *analysis_, *platform_, probs, dls,
-                    &engine_.dls_workspace());
-  dvfs::StretchStats reference_stats;
-  ApplyStretch(reference, probs, req.speed_floor, reference_stats);
+                    &verify_engine_->dls_workspace());
+  dvfs::PolicyContext ctx;
+  ctx.schedule = &reference;
+  ctx.probs = &probs;
+  ctx.stretch = config_.stretch;
+  ctx.speed_floor = req.speed_floor;
+  policy_->Apply(*verify_engine_, ctx);
   // Both must satisfy every structural invariant regardless of
   // validate_schedules — this is the debug oracle.
   check::Expectations expect;

@@ -43,12 +43,19 @@
 /// kFull is the reference semantics. Debug: ACTG_VERIFY_INCREMENTAL=1
 /// (or RescheduleOptions::verify_incremental) recomputes from scratch
 /// after every warm-started result, oracle-validates both, and records
-/// the energy ratio in "resched.verify.energy_ratio".
+/// the energy ratio in "resched.verify.energy_ratio". The reference
+/// recompute runs against a private scratch PathEngine (lazily built on
+/// first use), so the debug oracle is side-effect-free by construction:
+/// arming it perturbs no pooled workspace state — the production
+/// engine's enumeration id, committed path delays and DLS scratch are
+/// untouched — and produced schedules are bit-identical with the oracle
+/// on or off.
 
 #ifndef ACTG_ADAPTIVE_RESCHEDULER_H
 #define ACTG_ADAPTIVE_RESCHEDULER_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -238,6 +245,8 @@ class Rescheduler {
   void MaybeValidate(const sched::Schedule& schedule,
                      const RescheduleRequest& req) const;
   /// Debug diff of a warm-started result against a from-scratch one.
+  /// Runs entirely on verify_engine_ (never engine_), so arming the
+  /// oracle cannot change what the production ladder computes.
   void VerifyIncremental(const ctg::BranchProbabilities& probs,
                          const RescheduleRequest& req,
                          const RescheduleResult& got);
@@ -257,6 +266,12 @@ class Rescheduler {
   /// Reusable reschedule workspace (path enumeration + DLS scratch),
   /// shared by every Reschedule() call.
   dvfs::PathEngine engine_;
+  /// Scratch workspace for VerifyIncremental's reference recompute,
+  /// built lazily on the first verified call. Keeping the debug oracle
+  /// off the pooled engine_ is what makes it side-effect-free: the
+  /// enumeration id / committed delays the warm-start tier relies on
+  /// are never touched by a verify pass.
+  std::unique_ptr<dvfs::PathEngine> verify_engine_;
   /// Warm-start basis: the last non-degraded result (full schedule, so
   /// the warm stretch can replay its committed speed assignment).
   std::optional<sched::Schedule> basis_schedule_;

@@ -1,6 +1,7 @@
 #include "campaign/accumulator.h"
 
 #include <cmath>
+#include <utility>
 
 namespace actg::campaign {
 
@@ -67,6 +68,15 @@ bool Moments::operator==(const Moments& other) const {
          sum_sq_q_ == other.sum_sq_q_;
 }
 
+Moments Moments::FromRaw(std::size_t count, __int128 sum_q,
+                         __int128 sum_sq_q) {
+  Moments m;
+  m.count_ = count;
+  m.sum_q_ = sum_q;
+  m.sum_sq_q_ = sum_sq_q;
+  return m;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
   ACTG_CHECK(lo < hi, "Histogram: lo must be < hi");
@@ -121,6 +131,23 @@ double Histogram::Quantile(double q) const {
     }
   }
   return hi_;
+}
+
+Histogram Histogram::FromRaw(double lo, double hi, std::uint64_t underflow,
+                             std::uint64_t overflow,
+                             std::vector<std::uint64_t> counts) {
+  if (counts.empty()) {
+    throw InvalidArgument("Histogram::FromRaw: counts must be non-empty");
+  }
+  Histogram h(lo, hi, counts.size());
+  h.underflow_ = underflow;
+  h.overflow_ = overflow;
+  h.counts_ = std::move(counts);
+  h.count_ = static_cast<std::size_t>(underflow + overflow);
+  for (const std::uint64_t c : h.counts_) {
+    h.count_ += static_cast<std::size_t>(c);
+  }
+  return h;
 }
 
 bool Histogram::operator==(const Histogram& other) const {

@@ -68,6 +68,14 @@ class Moments {
   /// Bit-exact state equality (count and both integer sums).
   bool operator==(const Moments& other) const;
 
+  /// Checkpoint codec access: the exact integer state. Serializing
+  /// (count, raw_sum, raw_sum_sq) and rebuilding via FromRaw round-trips
+  /// bit-identically — the property the campaign resume path needs.
+  __int128 raw_sum() const { return sum_q_; }
+  __int128 raw_sum_sq() const { return sum_sq_q_; }
+  static Moments FromRaw(std::size_t count, __int128 sum_q,
+                         __int128 sum_sq_q);
+
  private:
   std::size_t count_ = 0;
   __int128 sum_q_ = 0;     ///< sum of quantized observations
@@ -104,6 +112,14 @@ class Histogram {
   double Quantile(double q) const;
 
   bool operator==(const Histogram& other) const;
+
+  /// Checkpoint codec access: rebuilds a histogram from its exact
+  /// counter state (count is derived — it always equals underflow +
+  /// overflow + sum(counts)). Throws InvalidArgument on a layout that
+  /// Histogram's own constructor would reject.
+  static Histogram FromRaw(double lo, double hi, std::uint64_t underflow,
+                           std::uint64_t overflow,
+                           std::vector<std::uint64_t> counts);
 
  private:
   double lo_;

@@ -113,6 +113,24 @@ struct CellStats {
   bool operator==(const CellStats& other) const;
 };
 
+/// One quarantined poison instance: enough to count it, label it and
+/// reproduce it. (spec.seed, index) are the repro coordinates — the
+/// instance's whole substream tree forks from Random(seed).Fork(index),
+/// so the pair pins the exact trace, oracle draw and fault stream; the
+/// emitted .fuzzcase repro (CampaignOptions::quarantine_dir) carries
+/// them as comment headers and replays through `actg_fuzz --replay`.
+struct QuarantineRecord {
+  std::size_t index = 0;    ///< population index
+  std::size_t cell = 0;     ///< population cell index
+  /// Failure class: "poison" (injected test poison), "thrown" (pipeline
+  /// exception), "oracle" (check:: validation failed), "overbudget"
+  /// (reschedule_budget exceeded).
+  std::string reason;
+  std::size_t attempts = 1;  ///< executions before giving up
+  std::string detail;        ///< single-line sanitized exception text
+  bool operator==(const QuarantineRecord&) const = default;
+};
+
 /// Execution-section record of one shard: data that is deterministic
 /// for a fixed spec at any --jobs, but a function of the sharding.
 struct ShardExecution {
@@ -124,6 +142,20 @@ struct ShardExecution {
   /// Reschedule-tier outcomes summed over the shard's controllers
   /// (exact hits measure cross-instance schedule sharing).
   adaptive::TierCounts tiers;
+  /// Quarantined instances of this shard, population-index order (empty
+  /// unless spec.quarantine_cap > 0).
+  std::vector<QuarantineRecord> quarantine;
+};
+
+/// Per-shard accumulation slot. Shards accumulate independently and the
+/// runner merges the slots in shard order. A checkpoint serializes
+/// exactly this state (minus the metrics registry — wall-clock data is
+/// not part of the deterministic contract and is not restored; a
+/// restored shard's metrics stays null).
+struct ShardOutput {
+  std::vector<CellStats> cells;
+  ShardExecution exec;
+  std::unique_ptr<runtime::Metrics> metrics;
 };
 
 /// The outcome of one campaign run.
@@ -148,8 +180,13 @@ struct CampaignResult {
   /// (the artifact the shard-split tests byte-compare).
   void WritePopulation(std::ostream& os) const;
 
+  /// Quarantined instances over every shard, shard order.
+  std::size_t quarantined = 0;
+
   /// Writes the full deterministic report: header, population section,
-  /// execution section. Byte-identical for any --jobs at a fixed spec.
+  /// execution section, and — only when spec.quarantine_cap > 0 — the
+  /// quarantine section (legacy reports stay byte-identical).
+  /// Byte-identical for any --jobs at a fixed spec.
   void Write(std::ostream& os) const;
 };
 
@@ -159,6 +196,26 @@ struct CampaignOptions {
   /// Metrics registry the merged per-shard registries fold into; null =
   /// a campaign-private registry.
   runtime::Metrics* metrics = nullptr;
+  /// Durable checkpointing: when non-empty, completed shards are
+  /// checkpointed to <checkpoint_dir>/campaign.ckpt (atomic
+  /// write-to-temp + rename) and Resume() restores them, so a killed
+  /// campaign re-runs only its unfinished shards. The resumed report is
+  /// byte-identical to an uninterrupted run at any --jobs: a shard is
+  /// the atomic unit and every shard output is a pure function of
+  /// (spec, shard).
+  std::string checkpoint_dir;
+  /// Checkpoint after every N shard completions (>= 1; the final state
+  /// after Run() is always written).
+  std::size_t checkpoint_every = 1;
+  /// When non-empty, every quarantined instance emits a replayable
+  /// repro to <quarantine_dir>/quarantine-<seed>-<index>.fuzzcase
+  /// (actg_fuzz --replay compatible).
+  std::string quarantine_dir;
+  /// Test hook: throw (after checkpointing) once this many shards have
+  /// completed in this run — a deterministic stand-in for SIGKILL at a
+  /// shard boundary (0 = never). The interrupted Campaign is spent;
+  /// resume with a fresh one.
+  std::size_t stop_after_shards = 0;
 };
 
 /// The runner. Mirrors serve::Server: validate up front, Run() once,
@@ -168,8 +225,23 @@ class Campaign {
   /// Validates \p spec up front (throws InvalidArgument when broken).
   Campaign(CampaignSpec spec, CampaignOptions options = {});
 
+  /// Restores completed shards from the checkpoint at
+  /// <checkpoint_dir>/campaign.ckpt; Run() then re-runs only the rest.
+  /// Returns the number of restored shards — 0 when no checkpointing is
+  /// configured or the file does not exist (a fresh start, not an
+  /// error). A malformed or mismatched checkpoint (wrong spec
+  /// fingerprint, truncation, version skew) throws InvalidArgument with
+  /// the parser's diagnostic. Must precede Run().
+  std::size_t Resume();
+
   /// Simulates the whole population and returns the result. Valid once.
   const CampaignResult& Run();
+
+  /// Writes the current completed-shard state to the configured
+  /// checkpoint file (no-op without a checkpoint_dir). Run() calls this
+  /// as shards complete; it is public so a driver can force a final
+  /// checkpoint after an exception.
+  void Checkpoint();
 
   const CampaignResult& result() const { return result_; }
   runtime::Metrics& metrics() { return *metrics_; }
@@ -184,11 +256,17 @@ class Campaign {
       std::size_t instances, std::size_t shards, std::size_t shard);
 
  private:
+  std::string CheckpointPath() const;
+
   CampaignSpec spec_;
   CampaignOptions options_;
   std::unique_ptr<runtime::Metrics> own_metrics_;
   runtime::Metrics* metrics_;
   CampaignResult result_;
+  /// Per-shard slots; restored by Resume(), filled by Run(). Slot s is
+  /// final once done_[s] is set.
+  std::vector<ShardOutput> outputs_;
+  std::vector<char> done_;
   bool ran_ = false;
 };
 

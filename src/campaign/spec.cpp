@@ -251,6 +251,14 @@ CampaignSpec ParseCampaignFileImpl(std::istream& is) {
       spec.window = reader.Count(one("<count>"));
     } else if (directive == "degrade") {
       spec.degrade = reader.Flag(one("<0|1>"));
+    } else if (directive == "quarantine_cap") {
+      spec.quarantine_cap = reader.Count(one("<count>"));
+    } else if (directive == "quarantine_retries") {
+      spec.quarantine_retries = reader.Count(one("<count>"));
+    } else if (directive == "reschedule_budget") {
+      spec.reschedule_budget = reader.Count(one("<count>"));
+    } else if (directive == "poison_every") {
+      spec.poison_every = reader.Count(one("<count>"));
     } else if (directive == "workload") {
       const auto workload = apps::ParseTenantWorkload(one("<name>"));
       if (!workload) {
@@ -310,6 +318,10 @@ void WriteCampaignFile(std::ostream& os, const CampaignSpec& spec) {
   os << "threshold " << spec.threshold << "\n";
   os << "window " << spec.window << "\n";
   os << "degrade " << (spec.degrade ? 1 : 0) << "\n";
+  os << "quarantine_cap " << spec.quarantine_cap << "\n";
+  os << "quarantine_retries " << spec.quarantine_retries << "\n";
+  os << "reschedule_budget " << spec.reschedule_budget << "\n";
+  os << "poison_every " << spec.poison_every << "\n";
   for (const apps::TenantWorkload workload : spec.workloads) {
     os << "workload " << apps::TenantWorkloadName(workload) << "\n";
   }

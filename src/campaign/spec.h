@@ -108,6 +108,25 @@ struct CampaignSpec {
   /// Engage the graceful-degradation ladder (storm cells usually want
   /// this on).
   bool degrade = false;
+  /// Poison-instance quarantine. 0 (default) disables it entirely: any
+  /// instance failure aborts the campaign, and the report carries no
+  /// quarantine section — legacy campaigns stay byte-identical. A
+  /// positive cap tolerates up to that many quarantined instances
+  /// fleet-wide; exceeding it fails the campaign loudly.
+  std::size_t quarantine_cap = 0;
+  /// Retries (beyond the first attempt) for transiently-classified
+  /// failures (allocation pressure, injected poison) before the
+  /// instance is quarantined.
+  std::size_t quarantine_retries = 2;
+  /// Compute budget: an instance whose controller exceeds this many
+  /// reschedules is classified overbudget and quarantined (0 = no
+  /// budget, never fires).
+  std::size_t reschedule_budget = 0;
+  /// Test hook: every poison_every-th population instance (1-based by
+  /// population index: i+1 divisible by poison_every) throws at
+  /// instance start, exercising the quarantine ladder deterministically
+  /// (0 = never).
+  std::size_t poison_every = 0;
   /// The population axes. Empty axes are filled by ApplyDefaults()
   /// (all four workloads, the online policy, the full reschedule mode,
   /// one "calm" none-storm); Validate() requires them non-empty.
@@ -150,6 +169,10 @@ struct CampaignSpec {
 ///   threshold <t>              # optional, default 0.1
 ///   window <n>                 # optional, default 20
 ///   degrade <0|1>              # optional, default 0
+///   quarantine_cap <n>         # optional, default 0 (disabled)
+///   quarantine_retries <n>     # optional, default 2
+///   reschedule_budget <n>      # optional, default 0 (unlimited)
+///   poison_every <n>           # optional, default 0 (test hook)
 ///   workload <mpeg|cruise|random1|random2>   # repeated axis
 ///   policy <name>                            # repeated axis
 ///   mode <full|incremental>                  # repeated axis

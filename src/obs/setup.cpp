@@ -5,6 +5,8 @@
 #include <iostream>
 
 #include "obs/export.h"
+#include "util/atomic_file.h"
+#include "util/error.h"
 
 namespace actg::obs {
 
@@ -60,15 +62,30 @@ ScopedTracing::ScopedTracing(int& argc, char** argv,
 ScopedTracing::~ScopedTracing() {
   if (session_ == nullptr) return;
   guard_.reset();  // uninstall before exporting
-  std::ofstream trace_out(path_);
-  if (!trace_out.good()) {
+  // Atomic exports: a crash mid-write must never leave a torn trace
+  // artifact behind (this is a destructor — report, never throw).
+  util::AtomicFile trace_out(path_);
+  if (!trace_out.ok()) {
     std::cerr << "trace: cannot open " << path_ << " for writing\n";
     return;
   }
-  WriteChromeTrace(trace_out, *session_);
+  WriteChromeTrace(trace_out.os(), *session_);
+  if (const util::Error err = trace_out.Commit(); !err.ok()) {
+    std::cerr << "trace: " << err.message() << "\n";
+    return;
+  }
   const std::string timeline_path = TimelinePath(path_);
-  std::ofstream timeline_out(timeline_path);
-  WriteTimelineCsv(timeline_out, *session_);
+  util::AtomicFile timeline_out(timeline_path);
+  if (!timeline_out.ok()) {
+    std::cerr << "trace: cannot open " << timeline_path
+              << " for writing\n";
+    return;
+  }
+  WriteTimelineCsv(timeline_out.os(), *session_);
+  if (const util::Error err = timeline_out.Commit(); !err.ok()) {
+    std::cerr << "trace: " << err.message() << "\n";
+    return;
+  }
   std::cerr << "trace: wrote " << path_ << " ("
             << session_->Events().size() << " events) and "
             << timeline_path << " (" << session_->Timeline().size()

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/trace.h"
+#include "runtime/watchdog.h"
 
 namespace actg::runtime {
 
@@ -12,14 +13,16 @@ namespace {
 
 /// Span around one job body. Emitted by both the serial inline path and
 /// DrainBatch so trace *content* is identical for any --jobs count
-/// (only thread ids and timestamps differ).
+/// (only thread ids and timestamps differ). A positive deadline arms a
+/// per-job watchdog token for the body's duration.
 void RunJobTraced(const std::function<void(std::size_t)>& body,
-                  std::size_t index) {
+                  std::size_t index, double deadline_ms) {
   obs::ScopedSpan span(obs::TraceSession::Current(), "pool.job",
                        "runtime");
   if (span.enabled()) {
     span.AddArg(obs::IntArg("index", static_cast<std::int64_t>(index)));
   }
+  DeadlineScope deadline(deadline_ms);
   body(index);
 }
 
@@ -34,6 +37,7 @@ thread_local bool t_inside_job = false;
 /// One index batch. All fields are guarded by the owning pool's mutex.
 struct Pool::Batch {
   std::function<void(std::size_t)> body;
+  double deadline_ms = 0.0;  ///< per-job watchdog; 0 = unarmed
   std::size_t n = 0;
   std::size_t next = 0;       ///< first unclaimed index
   std::size_t claimed = 0;    ///< indices handed to a thread
@@ -62,17 +66,19 @@ Pool::~Pool() {
 }
 
 void Pool::ParallelFor(std::size_t n,
-                       const std::function<void(std::size_t)>& body) {
+                       const std::function<void(std::size_t)>& body,
+                       double deadline_ms) {
   if (n == 0) return;
   if (workers_.empty() || n == 1 || t_inside_job) {
     // Serial pool, trivial batch, or nested call from inside a job:
     // run inline. Identical results by the determinism contract.
-    for (std::size_t i = 0; i < n; ++i) RunJobTraced(body, i);
+    for (std::size_t i = 0; i < n; ++i) RunJobTraced(body, i, deadline_ms);
     return;
   }
 
   auto batch = std::make_shared<Batch>();
   batch->body = body;
+  batch->deadline_ms = deadline_ms;
   batch->n = n;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -106,7 +112,7 @@ void Pool::DrainBatch(const std::shared_ptr<Batch>& batch) {
     t_inside_job = true;
     std::exception_ptr error;
     try {
-      RunJobTraced(batch->body, index);
+      RunJobTraced(batch->body, index, batch->deadline_ms);
     } catch (...) {
       error = std::current_exception();
     }

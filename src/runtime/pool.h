@@ -48,8 +48,14 @@ class Pool {
   /// and the calling thread; returns when all n calls completed. The
   /// first exception thrown by a body cancels the remaining unclaimed
   /// indices and is rethrown here.
+  ///
+  /// deadline_ms > 0 arms a watchdog DeadlineScope around every body
+  /// call, so a body that cooperates (calls CheckDeadline at its
+  /// instance boundaries) is bounded per job. 0 (the default) arms
+  /// nothing; see watchdog.h for the determinism caveats.
   void ParallelFor(std::size_t n,
-                   const std::function<void(std::size_t)>& body);
+                   const std::function<void(std::size_t)>& body,
+                   double deadline_ms = 0.0);
 
  private:
   struct Batch;

@@ -1,0 +1,43 @@
+#include "runtime/watchdog.h"
+
+#include <chrono>
+#include <string>
+
+namespace actg::runtime {
+
+namespace {
+
+/// The calling thread's armed deadline as steady-clock milliseconds
+/// since epoch; 0 = no deadline armed.
+thread_local double g_deadline_ms = 0.0;
+
+double NowMs() {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+DeadlineScope::DeadlineScope(double ms) {
+  if (ms <= 0.0) return;
+  armed_ = true;
+  previous_deadline_ = g_deadline_ms;
+  g_deadline_ms = NowMs() + ms;
+}
+
+DeadlineScope::~DeadlineScope() {
+  if (armed_) g_deadline_ms = previous_deadline_;
+}
+
+bool DeadlineExpired() {
+  return g_deadline_ms != 0.0 && NowMs() >= g_deadline_ms;
+}
+
+void CheckDeadline(const char* what) {
+  if (!DeadlineExpired()) return;
+  throw DeadlineExceeded(std::string("watchdog: ") + what +
+                         " exceeded its deadline");
+}
+
+}  // namespace actg::runtime

@@ -1,0 +1,73 @@
+/// \file watchdog.h
+/// Cooperative per-job watchdog deadlines for the fleet runners.
+///
+/// A wedged instance — a pathological reschedule, a runaway
+/// degradation ladder — must not stall a whole dispatch round.
+/// Preempting a worker thread is not an option (the schedulers hold no
+/// cancellation points and determinism forbids tearing a computation
+/// mid-flight), so the watchdog is *cooperative*: a DeadlineScope arms
+/// a thread-local wall-clock deadline token, and long-running bodies
+/// call CheckDeadline() at their natural instance boundaries (the serve
+/// Session checks before building a model and before every executed
+/// instance). An expired token throws DeadlineExceeded there — at a
+/// boundary, never mid-computation — and the dispatcher catches it,
+/// quarantines the wedged session and keeps the round moving.
+///
+/// Determinism: the token is wall-clock, so WHERE a deadline fires is
+/// not reproducible run to run. Deadlines are therefore off by default
+/// everywhere; the deterministic report contracts (serve golden tests,
+/// campaign byte-identity) hold for unarmed runs, and an armed run
+/// documents that its report depends on timing. The two deterministic
+/// end states — a deadline so generous it never fires, and one so tight
+/// it fires at the first boundary — are what the tests pin.
+///
+/// runtime::Pool arms the scope around each job body when a batch
+/// carries a deadline (Pool::ParallelFor's deadline_ms parameter), so
+/// pool clients get per-job tokens without touching thread plumbing.
+
+#ifndef ACTG_RUNTIME_WATCHDOG_H
+#define ACTG_RUNTIME_WATCHDOG_H
+
+#include "util/error.h"
+
+namespace actg::runtime {
+
+/// Thrown by CheckDeadline when the calling thread's armed watchdog
+/// deadline has passed. Derives from actg::Error so the usual catch
+/// boundaries see it; dispatchers catch it specifically to quarantine.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// RAII deadline token for the calling thread. Arms a wall-clock
+/// deadline \p ms milliseconds from construction; destruction restores
+/// the previously armed deadline (scopes nest — the tighter of the
+/// nested deadlines effectively wins, because CheckDeadline fires on
+/// the innermost armed one). ms <= 0 arms nothing (the scope is inert).
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(double ms);
+  ~DeadlineScope();
+
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  bool armed_ = false;
+  double previous_deadline_ = 0.0;  ///< steady-clock ms; 0 = none
+};
+
+/// True when the calling thread has an armed deadline and it has
+/// passed. Never true on a thread with no armed scope.
+bool DeadlineExpired();
+
+/// Cooperative check point: throws DeadlineExceeded("watchdog: <what>
+/// exceeded its deadline") when the calling thread's armed deadline has
+/// passed; no-op otherwise. Call at instance boundaries, never inside
+/// a computation that must complete atomically.
+void CheckDeadline(const char* what);
+
+}  // namespace actg::runtime
+
+#endif  // ACTG_RUNTIME_WATCHDOG_H

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "runtime/watchdog.h"
 #include "util/error.h"
 
 namespace actg::serve {
@@ -47,6 +48,7 @@ Server::Server(FleetRequest fleet, ServerOptions options)
                                                            metrics_);
   sessions_.resize(fleet_.tenants.size());
   arrived_.resize(fleet_.tenants.size(), false);
+  quarantined_.resize(fleet_.tenants.size(), false);
   finish_round_.resize(fleet_.tenants.size(), 0);
 }
 
@@ -75,22 +77,33 @@ std::size_t Server::RunRound(std::size_t round,
                              std::vector<Session*>& dispatch) {
   std::vector<double> slice_ms(dispatch.size(), 0.0);
   const std::size_t batch = fleet_.config.batch;
-  pool_.ParallelFor(dispatch.size(), [&](std::size_t i) {
-    const auto begin = std::chrono::steady_clock::now();
-    Session& session = *dispatch[i];
-    if (session.state() == SessionState::kAdmitted) session.NewApp();
-    const std::size_t n = std::min(batch, session.remaining());
-    for (std::size_t k = 0; k < n; ++k) {
-      session.NewInstance();
-      session.InstanceComplete();
-    }
-    session.PeriodicCheck();
-    const auto end = std::chrono::steady_clock::now();
-    slice_ms[i] =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
-            .count() *
-        1e-6;
-  });
+  pool_.ParallelFor(
+      dispatch.size(),
+      [&](std::size_t i) {
+        const auto begin = std::chrono::steady_clock::now();
+        Session& session = *dispatch[i];
+        try {
+          if (session.state() == SessionState::kAdmitted) session.NewApp();
+          const std::size_t n = std::min(batch, session.remaining());
+          for (std::size_t k = 0; k < n; ++k) {
+            session.NewInstance();
+            session.InstanceComplete();
+          }
+          session.PeriodicCheck();
+        } catch (const runtime::DeadlineExceeded&) {
+          // The slice outlived its watchdog deadline: quarantine the
+          // session at this event boundary and keep the round moving.
+          // Its partial summary stays readable for the fleet report.
+          session.Quarantine();
+        }
+        const auto end = std::chrono::steady_clock::now();
+        slice_ms[i] =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                                 begin)
+                .count() *
+            1e-6;
+      },
+      options_.session_deadline_ms);
 
   // Serial post-processing: wall-clock observations (index-addressed,
   // so recording order is dispatch order, not completion order).
@@ -114,6 +127,17 @@ std::size_t Server::RunRound(std::size_t round,
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
     Session* session = sessions_[i].get();
     if (session == nullptr) continue;
+    if (session->state() == SessionState::kQuarantined) {
+      // Watchdog-deadlined: retire it here so its unfinished backlog
+      // never counts toward the queue depth (a quarantined tenant must
+      // not hold the fleet open) and it is never dispatched again.
+      if (!quarantined_[i]) {
+        quarantined_[i] = true;
+        finish_round_[i] = round;
+        if (!fleet_.config.share_cache) cache_->Purge(TenantId(i));
+      }
+      continue;
+    }
     if (session->state() == SessionState::kDone) {
       finish_round_[i] = round;
       session->Shutdown();
@@ -185,17 +209,25 @@ void Server::FinishReport() {
       row.shed = true;
     } else {
       const sim::RunSummary& summary = session->summary();
+      row.quarantined = quarantined_[i];
       row.completed = summary.instances;
       row.deadline_misses = summary.deadline_misses;
       row.energy_mj = summary.total_energy_mj;
       row.max_makespan_ms = summary.max_makespan_ms;
-      row.reschedules = session->controller().reschedule_count();
+      // A session deadlined before NewApp has no controller yet.
+      row.reschedules = session->app_built()
+                            ? session->controller().reschedule_count()
+                            : 0;
       row.finish_round = finish_round_[i];
     }
 
     SlaReport& agg = report_.sla[static_cast<std::size_t>(row.sla)];
     ++agg.tenants;
     if (row.shed) ++agg.shed_tenants;
+    if (row.quarantined) {
+      ++agg.quarantined_tenants;
+      ++report_.quarantined_tenants;
+    }
     agg.instances += row.completed;
     agg.deadline_misses += row.deadline_misses;
     agg.total_energy_mj += row.energy_mj;
@@ -219,6 +251,10 @@ void Server::FinishReport() {
                         report_.sla[cls].deadline_misses);
     metrics_->Increment("serve." + label + ".shed_tenants",
                         report_.sla[cls].shed_tenants);
+    if (report_.sla[cls].quarantined_tenants > 0) {
+      metrics_->Increment("serve." + label + ".quarantined_tenants",
+                          report_.sla[cls].quarantined_tenants);
+    }
   }
 }
 
@@ -239,14 +275,24 @@ LatencyStats Server::Latency(SlaClass sla) const {
 void FleetReport::Write(std::ostream& os) const {
   os << "== serve fleet report ==\n";
   os << "tenants " << tenants.size() << " rounds " << rounds << " shed "
-     << shed_tenants << " deferred_rounds " << deferred_rounds << "\n";
+     << shed_tenants << " deferred_rounds " << deferred_rounds;
+  // Quarantine annotations only when the watchdog actually fired, so a
+  // watchdog-off report stays byte-identical to the legacy format.
+  if (quarantined_tenants > 0) {
+    os << " quarantined " << quarantined_tenants;
+  }
+  os << "\n";
   os << "-- sla --\n";
   for (std::size_t cls = 0; cls < kSlaClassCount; ++cls) {
     const SlaReport& agg = sla[cls];
     os << SlaName(static_cast<SlaClass>(cls)) << " tenants "
        << agg.tenants << " shed " << agg.shed_tenants << " instances "
        << agg.instances << " misses " << agg.deadline_misses
-       << " energy_mj " << agg.total_energy_mj << "\n";
+       << " energy_mj " << agg.total_energy_mj;
+    if (agg.quarantined_tenants > 0) {
+      os << " quarantined " << agg.quarantined_tenants;
+    }
+    os << "\n";
   }
   os << "-- admission --\n";
   for (const AdmissionEvent& event : admission_log) {
@@ -265,18 +311,25 @@ void FleetReport::Write(std::ostream& os) const {
        << " misses " << row.deadline_misses << " reschedules "
        << row.reschedules << " energy_mj " << row.energy_mj
        << " max_makespan_ms " << row.max_makespan_ms << " rounds "
-       << row.arrival_round << ".." << row.finish_round << "\n";
+       << row.arrival_round << ".." << row.finish_round;
+    if (row.quarantined) os << " quarantined";
+    os << "\n";
   }
   os << "== end ==\n";
 }
 
 util::Expected<std::unique_ptr<Server>> RunServeFile(
     std::istream& is, std::size_t jobs, std::ostream& report_os) {
+  ServerOptions options;
+  options.jobs = jobs;
+  return RunServeFile(is, options, report_os);
+}
+
+util::Expected<std::unique_ptr<Server>> RunServeFile(
+    std::istream& is, ServerOptions options, std::ostream& report_os) {
   util::Expected<FleetRequest> fleet = ParseServeFile(is);
   if (!fleet.ok()) return fleet.error();
   try {
-    ServerOptions options;
-    options.jobs = jobs;
     auto server = std::make_unique<Server>(std::move(fleet).value(),
                                            options);
     server->Run().Write(report_os);

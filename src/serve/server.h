@@ -49,6 +49,10 @@ struct TenantReport {
   /// True when admission rejected the tenant (SLA2 under shed); every
   /// numeric field below stays zero.
   bool shed = false;
+  /// True when the watchdog deadlined the tenant's session mid-fleet
+  /// (ServerOptions::session_deadline_ms); the numeric fields hold the
+  /// partial progress it made before quarantine.
+  bool quarantined = false;
   std::size_t requested = 0;
   std::size_t completed = 0;
   std::size_t deadline_misses = 0;
@@ -67,6 +71,7 @@ struct TenantReport {
 struct SlaReport : report::FleetStats {
   std::size_t tenants = 0;
   std::size_t shed_tenants = 0;
+  std::size_t quarantined_tenants = 0;
 };
 
 /// The deterministic outcome of a fleet replay.
@@ -76,10 +81,14 @@ struct FleetReport {
   std::size_t rounds = 0;
   std::size_t shed_tenants = 0;
   std::size_t deferred_rounds = 0;
+  /// Sessions the watchdog deadlined (0 whenever deadlines are off).
+  std::size_t quarantined_tenants = 0;
   std::vector<AdmissionEvent> admission_log;
 
   /// Renders the report as deterministic text (the golden artifact the
-  /// --jobs 1 vs --jobs 8 tests byte-compare).
+  /// --jobs 1 vs --jobs 8 tests byte-compare). Quarantine annotations
+  /// appear only when quarantined_tenants > 0, so watchdog-off reports
+  /// stay byte-identical to the pre-watchdog format.
   void Write(std::ostream& os) const;
 };
 
@@ -96,6 +105,13 @@ struct ServerOptions {
   /// the controllers' stage timers; null = a server-private registry
   /// (the daemon never pollutes Global() by default).
   runtime::Metrics* metrics = nullptr;
+  /// Cooperative watchdog deadline for one session's dispatch-round
+  /// slice, wall-clock milliseconds; 0 = off (the default — armed
+  /// deadlines make the report timing-dependent, see
+  /// runtime/watchdog.h). A session whose slice outlives the deadline
+  /// throws DeadlineExceeded at its next event boundary and is
+  /// quarantined instead of stalling the round.
+  double session_deadline_ms = 0.0;
 };
 
 class Server {
@@ -138,6 +154,7 @@ class Server {
   AdmissionController admission_;
   std::vector<std::unique_ptr<Session>> sessions_;  ///< null when shed
   std::vector<bool> arrived_;
+  std::vector<bool> quarantined_;  ///< retired by the watchdog
   std::vector<std::size_t> finish_round_;
   std::array<std::vector<double>, kSlaClassCount> latency_ms_;
   std::array<std::size_t, kSlaClassCount> budget_overruns_ = {0, 0, 0};
@@ -150,6 +167,12 @@ class Server {
 /// latencies, cache stats) for callers that want more than the text.
 util::Expected<std::unique_ptr<Server>> RunServeFile(std::istream& is,
                                                      std::size_t jobs,
+                                                     std::ostream& report_os);
+
+/// RunServeFile with full server options (the actg_serve front end's
+/// entry point — --session-deadline arms the watchdog).
+util::Expected<std::unique_ptr<Server>> RunServeFile(std::istream& is,
+                                                     ServerOptions options,
                                                      std::ostream& report_os);
 
 }  // namespace actg::serve

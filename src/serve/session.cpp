@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "apps/common.h"
+#include "runtime/watchdog.h"
 #include "util/error.h"
 
 namespace actg::serve {
@@ -20,6 +21,8 @@ const char* StateName(SessionState state) {
       return "done";
     case SessionState::kShutdown:
       return "shutdown";
+    case SessionState::kQuarantined:
+      return "quarantined";
   }
   return "?";
 }
@@ -38,6 +41,7 @@ void Session::Reject(const char* event, const char* why) const {
 }
 
 void Session::NewApp() {
+  runtime::CheckDeadline("serve session NewApp");
   if (state_ != SessionState::kAdmitted) {
     Reject("NewApp", "is only valid before the app is built");
   }
@@ -62,6 +66,7 @@ void Session::NewApp() {
 }
 
 const sim::InstanceResult& Session::NewInstance() {
+  runtime::CheckDeadline("serve session NewInstance");
   if (state_ != SessionState::kActive) {
     Reject("NewInstance", "needs an active app (NewApp first)");
   }
@@ -105,10 +110,25 @@ void Session::Shutdown() {
   if (state_ == SessionState::kShutdown) {
     Reject("Shutdown", "was already shut down");
   }
+  if (state_ == SessionState::kQuarantined) {
+    Reject("Shutdown", "was quarantined by the watchdog");
+  }
   if (pending_.has_value()) {
     Reject("Shutdown", "has an unacknowledged result pending");
   }
   state_ = SessionState::kShutdown;
+}
+
+void Session::Quarantine() {
+  if (state_ == SessionState::kShutdown ||
+      state_ == SessionState::kQuarantined) {
+    Reject("Quarantine", "is already terminal");
+  }
+  // A deadline fires at an event entry boundary, never between
+  // NewInstance and its InstanceComplete ack — but drop any pending
+  // result defensively so the summary never half-counts an instance.
+  pending_.reset();
+  state_ = SessionState::kQuarantined;
 }
 
 const apps::TenantModel& Session::model() const {

@@ -21,6 +21,12 @@
 /// throw actg::InvalidArgument — the daemon's dispatch loop is expected
 /// to be well-formed and the tests pin these diagnostics.
 ///
+/// NewApp and NewInstance are also the session's cooperative watchdog
+/// check points (runtime::CheckDeadline): when the dispatching pool
+/// armed a per-job deadline and it has passed, the event throws
+/// runtime::DeadlineExceeded at that boundary and the server
+/// quarantines the session instead of letting it stall the round.
+///
 /// A session owns all of its state (model, trace, controller) and is
 /// driven by one thread at a time; distinct sessions may run on
 /// distinct pool workers concurrently (see the AdaptiveController
@@ -46,10 +52,11 @@ namespace actg::serve {
 
 /// Lifecycle rungs of a session.
 enum class SessionState {
-  kAdmitted,  ///< admitted, model not built yet (before NewApp)
-  kActive,    ///< model built, instances executing
-  kDone,      ///< all requested instances completed
-  kShutdown,  ///< finalized; rejects every further event
+  kAdmitted,     ///< admitted, model not built yet (before NewApp)
+  kActive,       ///< model built, instances executing
+  kDone,         ///< all requested instances completed
+  kShutdown,     ///< finalized; rejects every further event
+  kQuarantined,  ///< watchdog-deadlined; terminal like kShutdown
 };
 
 /// Snapshot returned by PeriodicCheck.
@@ -95,9 +102,16 @@ class Session {
   /// Health probe; valid in kActive or kDone.
   SessionStatus PeriodicCheck() const;
 
-  /// Finalizes the session (any state except kShutdown; a pending
-  /// unacknowledged instance is rejected).
+  /// Finalizes the session (any state except kShutdown or kQuarantined;
+  /// a pending unacknowledged instance is rejected).
   void Shutdown();
+
+  /// Marks the session watchdog-quarantined: its dispatcher caught
+  /// runtime::DeadlineExceeded from one of its events (NewApp and
+  /// NewInstance are the cooperative check points). Terminal — every
+  /// further event is rejected; the partial summary stays readable so
+  /// the fleet report can account for what completed before the stall.
+  void Quarantine();
 
   // -- Accessors ----------------------------------------------------
 
@@ -105,6 +119,9 @@ class Session {
   const std::string& name() const { return request_.name; }
   SlaClass sla() const { return request_.sla; }
   SessionState state() const { return state_; }
+  /// True once NewApp built the model/controller (false for a session
+  /// quarantined before its app came up).
+  bool app_built() const { return controller_ != nullptr; }
   std::size_t completed() const { return summary_.instances; }
   std::size_t remaining() const {
     return request_.instances - summary_.instances;

@@ -1,0 +1,71 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace actg::util {
+
+namespace {
+
+long ProcessId() {
+#if defined(_WIN32)
+  return static_cast<long>(_getpid());
+#else
+  return static_cast<long>(getpid());
+#endif
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)),
+      temp_path_(path_ + ".tmp." + std::to_string(ProcessId())),
+      os_(temp_path_, std::ios::binary | std::ios::trunc) {}
+
+AtomicFile::~AtomicFile() {
+  if (committed_) return;
+  os_.close();
+  std::remove(temp_path_.c_str());
+}
+
+util::Error AtomicFile::Commit() {
+  if (committed_) {
+    return util::Error::Invalid("AtomicFile: Commit is valid once (" +
+                                path_ + ")");
+  }
+  os_.flush();
+  const bool healthy = os_.good();
+  os_.close();
+  if (!healthy) {
+    std::remove(temp_path_.c_str());
+    return util::Error::Invalid("AtomicFile: write failed for " + path_);
+  }
+  // POSIX rename(2) atomically replaces the target within a filesystem.
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(temp_path_.c_str());
+    return util::Error::Invalid("AtomicFile: cannot rename " +
+                                temp_path_ + " to " + path_);
+  }
+  committed_ = true;
+  return {};
+}
+
+util::Error WriteFileAtomic(const std::string& path,
+                            std::string_view contents) {
+  AtomicFile file(path);
+  if (!file.ok()) {
+    return util::Error::Invalid("AtomicFile: cannot open " + path +
+                                " for writing");
+  }
+  file.os().write(contents.data(),
+                  static_cast<std::streamsize>(contents.size()));
+  return file.Commit();
+}
+
+}  // namespace actg::util

@@ -1,0 +1,73 @@
+/// \file atomic_file.h
+/// Crash-safe file writing: write to a temp, then rename into place.
+///
+/// Every artifact this library emits — campaign checkpoints and
+/// reports, BENCH_*.json, metrics CSVs, fuzz repro files — used to go
+/// through a bare std::ofstream, so a crash (or SIGKILL) mid-write
+/// could leave a truncated file that a later run would happily parse.
+/// An AtomicFile writes to `<path>.tmp.<pid>` in the same directory and
+/// renames over the target only in Commit(); POSIX rename(2) within one
+/// filesystem is atomic, so readers observe either the old complete
+/// file or the new complete file, never a prefix. A destructed,
+/// uncommitted AtomicFile removes its temp — an abandoned write leaves
+/// nothing behind.
+///
+/// The temp name carries the pid so concurrent writers of the same
+/// target (two campaign processes checkpointing into one directory)
+/// never clobber each other's in-progress temp; last Commit() wins the
+/// rename, which is exactly the "latest checkpoint" semantics the
+/// campaign resume path wants.
+
+#ifndef ACTG_UTIL_ATOMIC_FILE_H
+#define ACTG_UTIL_ATOMIC_FILE_H
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/error.h"
+
+namespace actg::util {
+
+/// One atomic write: stream into os(), then Commit().
+class AtomicFile {
+ public:
+  /// Opens the temp file for writing. ok() is false when it cannot be
+  /// opened (missing directory, permissions).
+  explicit AtomicFile(std::string path);
+
+  /// Removes the temp when Commit() was never (successfully) called.
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// True while the stream is healthy (open succeeded, no write error).
+  bool ok() const { return os_.good(); }
+
+  /// The stream being written; contents land at path() on Commit().
+  std::ostream& os() { return os_; }
+
+  /// The final destination.
+  const std::string& path() const { return path_; }
+
+  /// Flushes, closes and renames the temp over path(). Ok on success;
+  /// a failure (write error, failed rename) removes the temp and
+  /// reports why — the target is left untouched either way. Valid once.
+  util::Error Commit();
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ofstream os_;
+  bool committed_ = false;
+};
+
+/// Convenience wrapper: atomically replaces \p path with \p contents.
+util::Error WriteFileAtomic(const std::string& path,
+                            std::string_view contents);
+
+}  // namespace actg::util
+
+#endif  // ACTG_UTIL_ATOMIC_FILE_H

@@ -16,8 +16,11 @@
 #include <vector>
 
 #include "campaign/accumulator.h"
+#include "campaign/checkpoint.h"
 #include "campaign/runner.h"
 #include "campaign/spec.h"
+#include "check/fuzz.h"
+#include "check/validator.h"
 #include "runtime/metrics.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -445,6 +448,314 @@ TEST(CampaignGolden, CommittedFleetReportIsJobsInvariant) {
   // The fleet really is the committed one.
   EXPECT_NE(reports[0].find("instances 1000 shards 8"),
             std::string::npos);
+}
+
+// ---------------------------------- Checkpoint / resume / quarantine
+
+/// Fresh scratch directory for checkpoint/quarantine artifacts.
+std::filesystem::path FreshDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("actg_campaign_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string RunToReport(const CampaignSpec& spec,
+                        CampaignOptions options = {}) {
+  Campaign run(spec, options);
+  std::ostringstream os;
+  run.Run().Write(os);
+  return os.str();
+}
+
+TEST(CampaignCheckpoint, FingerprintTracksEveryKnob) {
+  EXPECT_EQ(FingerprintSpec(SmallSpec()), FingerprintSpec(SmallSpec()));
+  CampaignSpec reseeded = SmallSpec();
+  reseeded.seed += 1;
+  EXPECT_NE(FingerprintSpec(SmallSpec()), FingerprintSpec(reseeded));
+  // The new robustness knobs are part of the identity too.
+  CampaignSpec quarantining = SmallSpec();
+  quarantining.quarantine_cap = 4;
+  EXPECT_NE(FingerprintSpec(SmallSpec()), FingerprintSpec(quarantining));
+}
+
+TEST(CampaignCheckpoint, StoreLoadStoreIsByteIdentical) {
+  CampaignSpec spec = SmallSpec();
+  spec.shards = 4;
+  const std::filesystem::path dir = FreshDir("roundtrip");
+  CampaignOptions options;
+  options.checkpoint_dir = dir.string();
+  Campaign run(spec, options);
+  run.Run();
+  std::ifstream in(dir / "campaign.ckpt", std::ios::binary);
+  ASSERT_TRUE(in);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string stored = buffer.str();
+  std::istringstream reload(stored);
+  const util::Expected<CheckpointState> state =
+      LoadCheckpoint(reload, spec);
+  ASSERT_TRUE(state.ok()) << state.error().message();
+  std::ostringstream restored;
+  WriteCheckpoint(restored, spec, state.value().done,
+                  state.value().outputs);
+  EXPECT_EQ(stored, restored.str());
+}
+
+TEST(CampaignCheckpoint, ResumeWithoutAFileIsAFreshStart) {
+  const std::filesystem::path dir = FreshDir("fresh");
+  CampaignOptions options;
+  options.checkpoint_dir = dir.string();
+  Campaign run(SmallSpec(8), options);
+  EXPECT_EQ(run.Resume(), 0u);
+  EXPECT_NO_THROW(run.Run());
+}
+
+// The tentpole contract: kill the campaign at a shard boundary (the
+// deterministic SIGKILL stand-in), resume it in a fresh process-alike
+// Campaign, and the final report is byte-identical to an uninterrupted
+// run — at any kill point and any --jobs on either side.
+TEST(CampaignCheckpoint, KillAndResumeIsByteIdenticalAtAnyKillPoint) {
+  CampaignSpec spec = SmallSpec();
+  spec.shards = 5;
+  const std::string uninterrupted = RunToReport(spec);
+  for (const std::size_t jobs : {1u, 4u}) {
+    for (const std::size_t kill_after : {1u, 2u, 4u}) {
+      const std::filesystem::path dir =
+          FreshDir("kill_" + std::to_string(jobs) + "_" +
+                   std::to_string(kill_after));
+      CampaignOptions options;
+      options.jobs = jobs;
+      options.checkpoint_dir = dir.string();
+      options.stop_after_shards = kill_after;
+      Campaign interrupted(spec, options);
+      EXPECT_THROW(interrupted.Run(), Error);
+
+      CampaignOptions resume_options;
+      resume_options.jobs = jobs;
+      resume_options.checkpoint_dir = dir.string();
+      Campaign resumed(spec, resume_options);
+      // Concurrent shards may land after the stop threshold, so the
+      // checkpoint holds at least kill_after completed shards.
+      EXPECT_GE(resumed.Resume(), kill_after);
+      std::ostringstream os;
+      resumed.Run().Write(os);
+      EXPECT_EQ(os.str(), uninterrupted)
+          << "jobs " << jobs << " kill_after " << kill_after;
+    }
+  }
+}
+
+TEST(CampaignCheckpoint, ResumingAFinishedCampaignRecomputesNothing) {
+  CampaignSpec spec = SmallSpec();
+  spec.shards = 3;
+  const std::filesystem::path dir = FreshDir("finished");
+  CampaignOptions options;
+  options.checkpoint_dir = dir.string();
+  const std::string first = RunToReport(spec, options);
+  Campaign resumed(spec, options);
+  EXPECT_EQ(resumed.Resume(), spec.shards);
+  std::ostringstream os;
+  resumed.Run().Write(os);
+  EXPECT_EQ(os.str(), first);
+}
+
+TEST(CampaignCheckpoint, MismatchedSpecIsRejectedByFingerprint) {
+  CampaignSpec spec = SmallSpec(8);
+  const std::filesystem::path dir = FreshDir("mismatch");
+  CampaignOptions options;
+  options.checkpoint_dir = dir.string();
+  Campaign run(spec, options);
+  run.Run();
+  CampaignSpec other = SmallSpec(8);
+  other.seed += 1;
+  Campaign resumed(other, options);
+  try {
+    resumed.Resume();
+    FAIL() << "expected the fingerprint gate to fire";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// Malformed-checkpoint corpus: every tests/corpus/checkpoint file is
+// rejected with the diagnostic pinned in its '# expect:' first line.
+// '@FP@' / '@SHAPE@' placeholders are substituted with the corpus
+// spec's real fingerprint and shape line, so files can pin errors that
+// sit behind those gates.
+TEST(CheckpointMalformedCorpus, EveryFileIsRejectedWithItsDiagnostic) {
+  const CampaignSpec spec = SmallSpec();
+  std::ostringstream fp;
+  fp << std::hex << FingerprintSpec(spec);
+  std::ostringstream shape;
+  shape << "shards " << spec.shards << " instances " << spec.instances
+        << " cells " << spec.CellCount() << " bins " << spec.bins;
+  const std::filesystem::path dir =
+      std::filesystem::path(ACTG_TEST_CORPUS_DIR) / "checkpoint";
+  std::size_t cases = 0;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::filesystem::path& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string contents = buffer.str();
+    const std::string marker = "# expect: ";
+    ASSERT_EQ(contents.rfind(marker, 0), 0u)
+        << "corpus file lacks a '# expect: <substring>' first line";
+    const std::string expect =
+        contents.substr(marker.size(),
+                        contents.find('\n') - marker.size());
+    for (const auto& [from, to] :
+         {std::pair<std::string, std::string>{"@FP@", fp.str()},
+          {"@SHAPE@", shape.str()}}) {
+      for (std::size_t at = contents.find(from);
+           at != std::string::npos; at = contents.find(from)) {
+        contents.replace(at, from.size(), to);
+      }
+    }
+    std::istringstream is(contents);
+    const util::Expected<CheckpointState> state =
+        LoadCheckpoint(is, spec);
+    ASSERT_FALSE(state.ok()) << "malformed checkpoint parsed";
+    EXPECT_NE(state.error().message().find(expect), std::string::npos)
+        << "diagnostic was: " << state.error().message();
+    EXPECT_NE(state.error().message().find("checkpoint line"),
+              std::string::npos);
+    ++cases;
+  }
+  EXPECT_GE(cases, 8u) << "corpus went missing";
+}
+
+CampaignSpec PoisonSpec(std::size_t instances = 24) {
+  CampaignSpec spec = SmallSpec(instances);
+  spec.poison_every = 5;  // instances 4, 9, 14, ... are poison
+  spec.quarantine_cap = instances;
+  spec.quarantine_retries = 1;
+  return spec;
+}
+
+TEST(CampaignQuarantine, PoisonInstancesAreQuarantinedNotFatal) {
+  CampaignSpec spec = PoisonSpec();
+  spec.shards = 4;
+  Campaign run(spec);
+  const CampaignResult& result = run.Run();
+  EXPECT_EQ(result.quarantined, 24u / 5u);
+  // Healthy instances still landed in the population.
+  EXPECT_EQ(result.fleet.instances,
+            (24u - 24u / 5u) * spec.trace_instances);
+  std::ostringstream os;
+  result.Write(os);
+  EXPECT_NE(os.str().find("quarantine cap 24 records 4"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("reason poison"), std::string::npos);
+  // Transient classes retried: 1 initial + quarantine_retries attempts.
+  EXPECT_NE(os.str().find("attempts 2"), std::string::npos);
+}
+
+TEST(CampaignQuarantine, ReportIsJobsInvariantWithQuarantine) {
+  CampaignSpec spec = PoisonSpec();
+  spec.shards = 5;
+  std::vector<std::string> reports;
+  for (const std::size_t jobs : {1u, 8u}) {
+    CampaignOptions options;
+    options.jobs = jobs;
+    reports.push_back(RunToReport(spec, options));
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+}
+
+TEST(CampaignQuarantine, SectionIsAbsentWithoutOptIn) {
+  EXPECT_EQ(RunToReport(SmallSpec(8)).find("quarantine"),
+            std::string::npos);
+}
+
+TEST(CampaignQuarantine, CapZeroKeepsTheLegacyAbort) {
+  CampaignSpec spec = SmallSpec(8);
+  spec.poison_every = 3;  // quarantine_cap stays 0: abort semantics
+  Campaign run(spec);
+  try {
+    run.Run();
+    FAIL() << "expected the poison to abort the campaign";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected campaign poison"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignQuarantine, ExceedingTheCapFailsLoudly) {
+  CampaignSpec spec = SmallSpec(8);
+  spec.shards = 1;
+  spec.poison_every = 1;  // every instance is poison
+  spec.quarantine_cap = 2;
+  spec.quarantine_retries = 0;
+  Campaign run(spec);
+  try {
+    run.Run();
+    FAIL() << "expected the cap to fire";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("quarantine cap exceeded (cap 2)"),
+        std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignQuarantine, RescheduleBudgetQuarantinesWedgedInstances) {
+  // Baseline: establish that some controller reschedules more than
+  // once (pigeonhole: total > app instances), so a budget of 1 must
+  // quarantine at least one instance as overbudget.
+  CampaignSpec spec = SmallSpec();
+  spec.trace_instances = 8;
+  spec.threshold = 0.01;
+  Campaign baseline(spec);
+  ASSERT_GT(baseline.Run().fleet.reschedules, spec.instances)
+      << "baseline spec no longer reschedule-heavy; retune the test";
+
+  CampaignSpec budgeted = spec;
+  budgeted.reschedule_budget = 1;
+  budgeted.quarantine_cap = budgeted.instances;
+  Campaign run(budgeted);
+  const CampaignResult& result = run.Run();
+  EXPECT_GT(result.quarantined, 0u);
+  std::ostringstream os;
+  result.Write(os);
+  EXPECT_NE(os.str().find("reason overbudget"), std::string::npos);
+  EXPECT_NE(os.str().find("reschedule budget exceeded"),
+            std::string::npos);
+}
+
+TEST(CampaignQuarantine, EmittedReproReplaysThroughTheFuzzHarness) {
+  CampaignSpec spec = PoisonSpec(10);  // poison: instances 4 and 9
+  spec.shards = 2;
+  const std::filesystem::path dir = FreshDir("repro");
+  CampaignOptions options;
+  options.quarantine_dir = dir.string();
+  Campaign run(spec, options);
+  EXPECT_EQ(run.Run().quarantined, 2u);
+
+  const std::filesystem::path repro =
+      dir / ("quarantine-" + std::to_string(spec.seed) + "-4.fuzzcase");
+  ASSERT_TRUE(std::filesystem::exists(repro)) << repro;
+  std::ifstream in(repro);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("seed 11 index 4"), std::string::npos)
+      << header;
+  while (in.peek() == '#') std::getline(in, header);
+  const util::Expected<check::FuzzCase> replayed = check::ParseRepro(in);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message();
+  // The instance was poisoned, not genuinely broken: the replay runs
+  // the full validator pipeline clean (actg_fuzz --replay exits 0).
+  EXPECT_TRUE(check::RunCase(replayed.value()).ok());
 }
 
 // --------------------------------------------- Metrics::MergeFrom

@@ -274,6 +274,59 @@ TEST(Rescheduler, WarmResultsStayFeasibleUnderDrift) {
             tiers.warm_cache + tiers.warm_prior);
 }
 
+// The debug oracle must be a pure observer: running the same drift
+// sequence with validate_schedules + verify_incremental on and off has
+// to produce bit-identical schedules, stretches and tier decisions.
+// (Regression: the differential verifier once recomputed through the
+// rescheduler's own PathEngine, perturbing its incremental state.)
+TEST(Rescheduler, DebugOracleIsSideEffectFree) {
+  std::vector<adaptive::RescheduleResult> runs[2];
+  adaptive::TierCounts tiers[2];
+  for (int armed = 0; armed < 2; ++armed) {
+    const FacadeCase fc;
+    adaptive::ReschedulerConfig config;
+    config.reschedule.mode = adaptive::RescheduleMode::kIncremental;
+    config.reschedule.max_dirty_ratio = 0.9;
+    config.reschedule.verify_incremental = armed == 1;
+    config.validate_schedules = armed == 1;
+    runtime::Metrics metrics;
+    runtime::ScheduleCache cache(runtime::ScheduleCacheOptions{},
+                                 &metrics);
+    config.cache = runtime::CacheBinding{&cache, 0};
+    config.metrics = &metrics;
+    adaptive::Rescheduler rescheduler(fc.graph, *fc.analysis,
+                                      fc.platform, config);
+    const adaptive::RescheduleRequest req{config.dls.available_pes, 0.0,
+                                          "test"};
+    for (int i = 0; i < 24; ++i) {
+      const double p = 0.5 + 0.4 * std::sin(0.7 * i);
+      runs[armed].push_back(rescheduler.Reschedule(
+          WithForkAt(fc.graph, fc.base, fc.fork, p), req));
+    }
+    tiers[armed] = rescheduler.tier_counts();
+  }
+
+  const FacadeCase fc;
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].tier, runs[1][i].tier) << "step " << i;
+    EXPECT_TRUE(SamePlacements(fc.graph, runs[0][i].schedule,
+                               runs[1][i].schedule))
+        << "step " << i;
+    EXPECT_EQ(runs[0][i].stretch.max_path_delay_ms,
+              runs[1][i].stretch.max_path_delay_ms)
+        << "step " << i;
+    EXPECT_EQ(runs[0][i].stretch.total_extension_ms,
+              runs[1][i].stretch.total_extension_ms)
+        << "step " << i;
+  }
+  EXPECT_EQ(tiers[0].warm_cache, tiers[1].warm_cache);
+  EXPECT_EQ(tiers[0].warm_prior, tiers[1].warm_prior);
+  EXPECT_EQ(tiers[0].full, tiers[1].full);
+  // The armed run actually exercised the oracle on warm results.
+  EXPECT_GT(tiers[1].warm_cache + tiers[1].warm_prior, 0u);
+}
+
 // A degraded request (restricted mask) must bypass the cache and the
 // warm tiers entirely: the key encodes neither constraint.
 TEST(Rescheduler, DegradedRequestBypassesCacheAndWarmTiers) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -19,6 +20,7 @@
 #include "runtime/metrics.h"
 #include "runtime/pool.h"
 #include "runtime/schedule_cache.h"
+#include "runtime/watchdog.h"
 #include "sched/dls.h"
 #include "util/rng.h"
 
@@ -634,6 +636,90 @@ TEST(MetricsTest, DistributionsReportNearestRankQuantiles) {
 
   metrics.Reset();
   EXPECT_EQ(metrics.samples("lat"), 0u);
+}
+
+// ------------------------------------------------------------ Watchdog
+
+// A denormal-small positive deadline arms "now" (NowMs() + denormal
+// rounds back to NowMs(), and expiry is a >= comparison), so it fires
+// at the first check even if the clock never advances. This is the
+// deterministic "always fires" end state; the generous deadline below
+// is the deterministic "never fires" one.
+constexpr double kInstantly = std::numeric_limits<double>::min();
+constexpr double kNever = 1e12;
+
+TEST(Watchdog, UnarmedThreadNeverExpires) {
+  EXPECT_FALSE(DeadlineExpired());
+  EXPECT_NO_THROW(CheckDeadline("idle"));
+}
+
+TEST(Watchdog, InertScopeArmsNothing) {
+  DeadlineScope inert(0.0);
+  EXPECT_FALSE(DeadlineExpired());
+  DeadlineScope negative(-5.0);
+  EXPECT_FALSE(DeadlineExpired());
+}
+
+TEST(Watchdog, TightDeadlineFiresWithTheNamedCulprit) {
+  DeadlineScope scope(kInstantly);
+  EXPECT_TRUE(DeadlineExpired());
+  try {
+    CheckDeadline("unit test body");
+    FAIL() << "CheckDeadline did not throw";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_STREQ(e.what(),
+                 "watchdog: unit test body exceeded its deadline");
+  }
+}
+
+TEST(Watchdog, GenerousDeadlineNeverFires) {
+  DeadlineScope scope(kNever);
+  EXPECT_FALSE(DeadlineExpired());
+  EXPECT_NO_THROW(CheckDeadline("unit test body"));
+}
+
+TEST(Watchdog, ScopesNestAndRestoreTheOuterDeadline) {
+  DeadlineScope outer(kNever);
+  EXPECT_FALSE(DeadlineExpired());
+  {
+    DeadlineScope inner(kInstantly);
+    EXPECT_TRUE(DeadlineExpired());  // innermost armed deadline wins
+  }
+  EXPECT_FALSE(DeadlineExpired());  // outer deadline restored
+  {
+    DeadlineScope inert(0.0);
+    EXPECT_FALSE(DeadlineExpired());  // inert scope leaves outer armed
+  }
+  EXPECT_FALSE(DeadlineExpired());
+}
+
+TEST(Watchdog, PoolArmsADeadlinePerJob) {
+  Pool pool(4);
+  std::atomic<std::size_t> expired{0};
+  pool.ParallelFor(
+      16, [&](std::size_t) { expired += DeadlineExpired() ? 1 : 0; },
+      kInstantly);
+  EXPECT_EQ(expired.load(), 16u);
+
+  expired = 0;
+  pool.ParallelFor(
+      16, [&](std::size_t) { expired += DeadlineExpired() ? 1 : 0; },
+      kNever);
+  EXPECT_EQ(expired.load(), 0u);
+
+  // Default: no deadline parameter arms nothing.
+  expired = 0;
+  pool.ParallelFor(16,
+                   [&](std::size_t) { expired += DeadlineExpired() ? 1 : 0; });
+  EXPECT_EQ(expired.load(), 0u);
+}
+
+TEST(Watchdog, DeadlineExceededEscapingAJobPropagatesToTheCaller) {
+  Pool pool(2);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [&](std::size_t) { CheckDeadline("pool job"); },
+                   kInstantly),
+               DeadlineExceeded);
 }
 
 }  // namespace

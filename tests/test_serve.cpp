@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -457,6 +458,54 @@ TEST(Server, RunIsValidOnce) {
   Server server(SyntheticFleet(4, 2, 1), ServerOptions{});
   server.Run();
   EXPECT_THROW(server.Run(), InvalidArgument);
+}
+
+// ----------------------------------------------------------- Watchdog
+
+// The watchdog is wall-clock, so WHERE it fires is not deterministic in
+// general; the two end states below are. A denormal-small deadline has
+// already passed at the first cooperative check (NewApp), so every
+// dispatched session quarantines before completing any work.
+TEST(Server, TightWatchdogQuarantinesEveryTenantAndStillTerminates) {
+  ServerOptions options;
+  options.session_deadline_ms = std::numeric_limits<double>::min();
+  Server server(SyntheticFleet(8, 4, 3), options);
+  const FleetReport& report = server.Run();
+
+  EXPECT_EQ(report.quarantined_tenants, report.tenants.size());
+  for (const TenantReport& row : report.tenants) {
+    EXPECT_TRUE(row.quarantined);
+    EXPECT_EQ(row.completed, 0u);
+    EXPECT_EQ(row.reschedules, 0u);  // deadlined before the app built
+  }
+  const std::string text = ReportText(report);
+  EXPECT_NE(text.find(" quarantined 8"), std::string::npos);
+  EXPECT_NE(text.find(" quarantined\n"), std::string::npos);
+}
+
+// A generous deadline never fires, so the armed run's report must be
+// byte-identical to the unarmed golden — arming the watchdog costs
+// nothing when sessions behave.
+TEST(Server, GenerousWatchdogLeavesTheReportByteIdentical) {
+  Server unarmed(SyntheticFleet(8, 4, 3), ServerOptions{});
+  const std::string golden = ReportText(unarmed.Run());
+  EXPECT_EQ(golden.find("quarantined"), std::string::npos);
+
+  ServerOptions options;
+  options.session_deadline_ms = 1e12;
+  Server armed(SyntheticFleet(8, 4, 3), options);
+  EXPECT_EQ(golden, ReportText(armed.Run()));
+}
+
+// Quarantine is terminal on the session itself: no further events, no
+// shutdown, no resurrection.
+TEST(Session, QuarantineIsTerminal) {
+  Session session = MakeSession();
+  session.Quarantine();
+  EXPECT_EQ(session.state(), SessionState::kQuarantined);
+  EXPECT_THROW(session.NewApp(), InvalidArgument);
+  EXPECT_THROW(session.Shutdown(), InvalidArgument);
+  EXPECT_THROW(session.Quarantine(), InvalidArgument);
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/csv.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -332,6 +335,90 @@ TEST(Csv, NumericRowPrecision) {
   CsvWriter w(os);
   w.WriteRow(std::vector<double>{1.5, 2.25}, 2);
   EXPECT_EQ(os.str(), "1.50,2.25\n");
+}
+
+// ---------------------------------------------------------------------------
+// AtomicFile
+
+namespace fs = std::filesystem;
+
+std::string ScratchFile(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / "actg_atomic_file";
+  fs::create_directories(dir);
+  const fs::path path = dir / name;
+  fs::remove(path);
+  return path.string();
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// No `<name>.tmp.<pid>` sibling may survive an AtomicFile's lifetime.
+bool HasTempSibling(const std::string& path) {
+  const fs::path target(path);
+  const std::string prefix = target.filename().string() + ".tmp.";
+  for (const auto& entry : fs::directory_iterator(target.parent_path())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(AtomicFile, CommitLandsTheBytesAndRemovesTheTemp) {
+  const std::string path = ScratchFile("commit.txt");
+  {
+    AtomicFile file(path);
+    ASSERT_TRUE(file.ok());
+    EXPECT_EQ(file.path(), path);
+    file.os() << "hello\nworld\n";
+    EXPECT_FALSE(fs::exists(path));  // nothing visible before Commit
+    EXPECT_TRUE(file.Commit().ok());
+  }
+  EXPECT_EQ(Slurp(path), "hello\nworld\n");
+  EXPECT_FALSE(HasTempSibling(path));
+}
+
+TEST(AtomicFile, AbandonedWriteLeavesTheTargetUntouched) {
+  const std::string path = ScratchFile("abandon.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "original\n").ok());
+  {
+    AtomicFile file(path);
+    ASSERT_TRUE(file.ok());
+    file.os() << "half-written garbage";
+    // destructor runs with no Commit(): simulated crash before rename
+  }
+  EXPECT_EQ(Slurp(path), "original\n");
+  EXPECT_FALSE(HasTempSibling(path));
+}
+
+TEST(AtomicFile, CommitReplacesAnExistingFileWholesale) {
+  const std::string path = ScratchFile("replace.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents that are longer\n").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new\n").ok());
+  EXPECT_EQ(Slurp(path), "new\n");
+  EXPECT_FALSE(HasTempSibling(path));
+}
+
+TEST(AtomicFile, MissingDirectoryReportsInsteadOfThrowing) {
+  const std::string path =
+      (fs::temp_directory_path() / "actg_atomic_file_no_such_dir" /
+       "deep" / "file.txt")
+          .string();
+  AtomicFile file(path);
+  EXPECT_FALSE(file.ok());
+  const Error err = file.Commit();
+  EXPECT_FALSE(err.ok());
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(AtomicFile, WriteFileAtomicRoundTripsBinaryBytes) {
+  const std::string path = ScratchFile("binary.bin");
+  const std::string contents("a\0b\r\nc", 6);
+  ASSERT_TRUE(WriteFileAtomic(path, contents).ok());
+  EXPECT_EQ(Slurp(path), contents);
 }
 
 }  // namespace

@@ -31,6 +31,7 @@
 #include "check/fuzz.h"
 #include "check/validator.h"
 #include "cli_common.h"
+#include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -66,10 +67,11 @@ std::string ShrinkAndDump(const check::FuzzCase& failing,
       });
   std::filesystem::create_directories(out_dir);
   const std::string path = ReproPath(out_dir, seed, index);
-  std::ofstream os(path);
-  os << "# rule: " << rule << "\n";
-  os << "# seed " << seed << " index " << index << "\n";
-  check::WriteRepro(os, shrunk);
+  util::AtomicFile file(path);
+  file.os() << "# rule: " << rule << "\n";
+  file.os() << "# seed " << seed << " index " << index << "\n";
+  check::WriteRepro(file.os(), shrunk);
+  file.Commit().ThrowIfError();
   return path;
 }
 
@@ -136,9 +138,10 @@ int RunEmit(std::uint64_t count, const std::string& out_dir,
   for (std::uint64_t i = start; i < start + count; ++i) {
     const check::FuzzCase c = check::Materialize(check::RandomSpec(root, i));
     const std::string path = ReproPath(out_dir, seed, i);
-    std::ofstream os(path);
-    os << "# seed " << seed << " index " << i << "\n";
-    check::WriteRepro(os, c);
+    util::AtomicFile file(path);
+    file.os() << "# seed " << seed << " index " << i << "\n";
+    check::WriteRepro(file.os(), c);
+    file.Commit().ThrowIfError();
     std::cout << path << "\n";
   }
   return 0;

@@ -2,14 +2,18 @@
 /// The scheduling-as-a-service daemon front end.
 ///
 ///   actg_serve --requests <file> [--jobs N] [--report <file>]
-///              [--metrics <file>]
+///              [--metrics <file>] [--session-deadline MS]
 ///       Replay a serve-v1 request file: admit every tenant through the
 ///       admission controller, drive the fleet on N pool workers and
 ///       write the deterministic fleet report to stdout (or --report).
 ///       The report is byte-identical for any --jobs value; wall-clock
 ///       latency percentiles per SLA class go to stderr, and --metrics
 ///       dumps the full metrics registry (counters, stage timers,
-///       latency distributions) as text.
+///       latency distributions) as text. --session-deadline arms the
+///       cooperative watchdog: a session whose round slice outlives MS
+///       wall-clock milliseconds is quarantined at its next event
+///       boundary instead of stalling the round (off by default — an
+///       armed watchdog makes the report timing-dependent).
 ///
 ///   actg_serve synthetic <tenants> <instances> <seed>
 ///       Print a deterministic synthetic serve-v1 fleet (the generator
@@ -18,6 +22,7 @@
 /// Exit status: 0 on success, 1 on a malformed request file or a
 /// failed replay (diagnostic on stderr), 2 on usage errors.
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -38,7 +43,8 @@ constexpr const char* kTool = "actg_serve";
 int Usage() {
   std::cerr << "usage:\n"
             << "  actg_serve --requests <file> [--jobs N] "
-               "[--report <file>] [--metrics <file>]\n"
+               "[--report <file>] [--metrics <file>] "
+               "[--session-deadline MS]\n"
             << "  actg_serve synthetic <tenants> <instances> <seed>\n";
   return 2;
 }
@@ -76,6 +82,21 @@ int RunRequests(int argc, char** argv) {
       cli::TakeFlag(argc, argv, "--report").value_or("");
   const std::string metrics_path =
       cli::TakeFlag(argc, argv, "--metrics").value_or("");
+  const std::string deadline_text =
+      cli::TakeFlag(argc, argv, "--session-deadline").value_or("");
+  double session_deadline_ms = 0.0;
+  if (!deadline_text.empty()) {
+    char* end = nullptr;
+    session_deadline_ms = std::strtod(deadline_text.c_str(), &end);
+    if (end == deadline_text.c_str() || *end != '\0' ||
+        session_deadline_ms < 0.0) {
+      return cli::Fail(kTool,
+                       "--session-deadline wants a non-negative "
+                       "millisecond count, got '" +
+                           deadline_text + "'",
+                       2);
+    }
+  }
   if (argc != 1) {
     cli::Fail(kTool, std::string("unknown argument '") + argv[1] + "'", 2);
     return Usage();
@@ -92,7 +113,10 @@ int RunRequests(int argc, char** argv) {
     return cli::Fail(kTool, "cannot write '" + report_path + "'");
   }
 
-  auto server = serve::RunServeFile(is, jobs, report.os());
+  serve::ServerOptions options;
+  options.jobs = jobs;
+  options.session_deadline_ms = session_deadline_ms;
+  auto server = serve::RunServeFile(is, options, report.os());
   if (!server.ok()) {
     return cli::Fail(kTool, server.error().message());
   }

@@ -2,6 +2,9 @@
 
 #include <iostream>
 
+#include "util/atomic_file.h"
+#include "util/error.h"
+
 namespace actg::cli {
 
 std::optional<std::string> FindFlag(int argc, char** argv,
@@ -96,9 +99,11 @@ ReportSink::ReportSink(const std::string& path) : path_(path) {
 int DumpMetrics(std::string_view tool, const std::string& path,
                 const runtime::Metrics& metrics) {
   if (path.empty()) return 0;
-  std::ofstream os(path);
-  if (!os) return Fail(tool, "cannot write '" + path + "'");
-  metrics.WriteText(os);
+  util::AtomicFile file(path);
+  if (!file.ok()) return Fail(tool, "cannot write '" + path + "'");
+  metrics.WriteText(file.os());
+  const util::Error err = file.Commit();
+  if (!err.ok()) return Fail(tool, err.message());
   return 0;
 }
 
